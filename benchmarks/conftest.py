@@ -1,0 +1,38 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper at the scale
+selected by ``--repro-scale`` (``small`` by default; ``medium``/``full``
+approach the paper's session counts).  Reports print to stdout — run with
+``pytest benchmarks/ --benchmark-only -s`` to see the regenerated rows.
+"""
+
+import pytest
+
+from repro.experiments import SCALES, SMALL
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="small",
+        choices=sorted(SCALES),
+        help="experiment scale: small (fast), medium, full (paper-scale)",
+    )
+
+
+@pytest.fixture
+def scale(request):
+    return SCALES[request.config.getoption("--repro-scale")]
+
+
+@pytest.fixture
+def show(capsys):
+    """Print an experiment report even under pytest's capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

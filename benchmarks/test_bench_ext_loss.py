@@ -1,0 +1,26 @@
+"""Benchmark: the extension experiment — strategy impact on congestion.
+
+The paper's stated future work (Section 8): how do the three streaming
+strategies affect the network loss rate?  Answer (from the shared-
+bottleneck cohort runs): short cycles, whose non-ack-clocked bursts recur
+every couple of seconds per session, collide at the queue far more often
+than bulk transfers or the rare large bursts of long cycles.
+"""
+
+from repro.experiments import ext_loss_impact
+from repro.streaming import StreamingStrategy
+
+
+def test_bench_ext_loss_impact(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: ext_loss_impact.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    by = {r.strategy: r for r in result.rows}
+    short = by[StreamingStrategy.SHORT_ONOFF]
+    bulk = by[StreamingStrategy.NO_ONOFF]
+    long_ = by[StreamingStrategy.LONG_ONOFF]
+    # the headline: short cycles stress the queue the most
+    assert short.queue_drop_rate > 1.5 * bulk.queue_drop_rate
+    assert short.queue_drop_rate > 1.5 * long_.queue_drop_rate
+    # and the retransmissions visible in traces follow the drops
+    assert short.retransmission_share > bulk.retransmission_share

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 1 (the download-phases schematic)."""
+
+import pytest
+
+from repro.experiments import fig1
+
+KB = 1024
+
+
+def test_bench_fig1(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: fig1.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    # the schematic's structure: a fast buffering phase, then a paced
+    # steady state whose slope is the accumulation ratio times the rate
+    assert result.buffering_slope_bps > 5 * result.steady_slope_bps
+    assert result.steady_slope_bps == pytest.approx(
+        1.25 * result.encoding_rate_bps, rel=0.1)
+    assert result.block_bytes == pytest.approx(64 * KB, rel=0.1)
+    assert result.off_duration_s > result.on_duration_s

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 10 (Netflix strategies)."""
+
+from repro.experiments import fig10
+from repro.streaming import StreamingStrategy
+
+MB = 1024 * 1024
+
+
+def test_bench_fig10(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: fig10.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    by_label = {t.label: t for t in result.traces}
+    assert by_label["PC Acad."].strategy is StreamingStrategy.SHORT_ONOFF
+    assert by_label["iPad Acad."].strategy is StreamingStrategy.SHORT_ONOFF
+    assert by_label["Android Acad."].strategy is StreamingStrategy.LONG_ONOFF
+    # PCs and the iPad use many connections; Android does not
+    assert by_label["PC Acad."].connections > 10
+    assert by_label["Android Acad."].connections <= 7

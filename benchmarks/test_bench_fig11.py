@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 11 (Netflix buffering amounts)."""
+
+from repro.experiments import fig11
+
+MB = 1024 * 1024
+
+
+def test_bench_fig11(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: fig11.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    by_label = {s.label: s for s in result.series}
+    # PCs buffer ~50 MB (all renditions), iPad ~10 MB (a subset),
+    # Android ~40 MB
+    assert 35 * MB < by_label["PC Acad."].cdf.median < 65 * MB
+    assert 6 * MB < by_label["iPad Acad."].cdf.median < 16 * MB
+    assert 30 * MB < by_label["Android Acad."].cdf.median < 55 * MB
+    # ordering: iPad << Android <= PC
+    assert (by_label["iPad Acad."].cdf.median
+            < by_label["Android Acad."].cdf.median
+            <= by_label["PC Acad."].cdf.median * 1.2)

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 12 (Netflix block sizes)."""
+
+from repro.experiments import fig12
+from repro.analysis import median
+
+MB = 1024 * 1024
+
+
+def test_bench_fig12(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: fig12.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    by_label = {s.label: s for s in result.series}
+    # PC/iPad blocks: mostly below 2.5 MB but bigger than YouTube's
+    for label in ("PC Acad.", "PC Home", "iPad Acad."):
+        assert by_label[label].share_below_threshold > 0.8, label
+        assert median(by_label[label].block_sizes) > 0.5 * MB, label
+    # Android fetches multi-megabyte blocks
+    assert median(by_label["Android Acad."].block_sizes) > 2.5 * MB
+    assert by_label["Android Acad."].share_below_threshold < 0.5

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 2 (short ON-OFF + receive window)."""
+
+import pytest
+
+from repro.experiments import fig2
+
+KB = 1024
+
+
+def test_bench_fig2(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: fig2.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    assert result.flash.median_block == pytest.approx(64 * KB, rel=0.1)
+    assert result.html5.median_block == pytest.approx(256 * KB, rel=0.1)
+    assert result.html5.steady_window_min < 64 * KB
+    assert result.flash.steady_window_min > 128 * KB

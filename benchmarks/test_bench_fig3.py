@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 3 (buffering amounts)."""
+
+from repro.experiments import fig3
+
+MB = 1024 * 1024
+
+
+def test_bench_fig3(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: fig3.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    by_name = {n.network: n for n in result.networks}
+    # Flash pushes ~40 s of playback in the clean networks
+    assert 38.0 <= by_name["Research"].cdf.median <= 46.0
+    assert 38.0 <= by_name["Home"].cdf.median <= 48.0
+    # strong rate <-> bytes correlation in the clean networks (paper: 0.85)
+    assert by_name["Research"].correlation_rate_bytes > 0.8
+    # the lossy network measures less than the clean one on average
+    assert (by_name["Residence"].cdf.quantile(0.25)
+            < by_name["Research"].cdf.quantile(0.25))
+    # HTML5/IE buffers ~10-15 MB regardless of rate, weak correlation
+    for point in result.html5_points:
+        assert 8 * MB <= point.buffering_bytes <= 18 * MB
+    assert abs(result.html5_correlation) < 0.75

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 4 (Flash steady state)."""
+
+import pytest
+
+from repro.analysis import median
+from repro.experiments import fig4
+
+KB = 1024
+
+
+def test_bench_fig4(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: fig4.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    for net in result.networks:
+        # 64 kB dominates in every network
+        assert median(net.block_sizes) == pytest.approx(64 * KB, rel=0.1), net.network
+        # accumulation ratio ~1.25 in every network
+        assert median(net.accumulation_ratios) == pytest.approx(1.25, rel=0.15), net.network

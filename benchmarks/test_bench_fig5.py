@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 5 (HTML5/IE steady state)."""
+
+import pytest
+
+from repro.analysis import median
+from repro.experiments import fig5
+
+KB = 1024
+
+
+def test_bench_fig5(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: fig5.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    for net in result.networks:
+        # 256 kB blocks dominate in every network
+        assert median(net.block_sizes) == pytest.approx(256 * KB, rel=0.15), net.network
+    # overall accumulation ratio near 1 (paper: mean 1.06, median 1.04)
+    ratios = result.all_ratios
+    assert 0.9 <= median(ratios) <= 1.25

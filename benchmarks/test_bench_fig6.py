@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 6 (long ON-OFF cycles)."""
+
+from repro.experiments import fig6
+from repro.streaming import StreamingStrategy
+
+MB = 1024 * 1024
+
+
+def test_bench_fig6(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: fig6.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    # the representative Chrome trace shows long cycles with OFF periods
+    # "in the order of 60 seconds"
+    assert result.trace_strategy is StreamingStrategy.LONG_ONOFF
+    assert result.trace_max_off > 10.0
+    # the receive window periodically empties: Chrome pulls
+    assert min(result.trace_window.values) < 128 * 1024
+    # most steady-state bytes move in blocks above 2.5 MB
+    for series in result.series:
+        assert series.share_above_threshold > 0.5, series.label

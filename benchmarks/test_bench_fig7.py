@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 7 (iPad's multiple strategies)."""
+
+from repro.experiments import fig7
+from repro.streaming import StreamingStrategy
+
+
+def test_bench_fig7(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: fig7.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    # Video1 (high rate): many successive connections, mixed cycles
+    assert result.video1.strategy is StreamingStrategy.MIXED
+    assert result.video1.connections_first_minute >= 10
+    # Video2 (low rate): one connection, short cycles
+    assert result.video2.strategy is StreamingStrategy.SHORT_ONOFF
+    assert result.video2.connections == 1
+    # block size grows with the encoding rate
+    assert result.rate_block_correlation > 0.3

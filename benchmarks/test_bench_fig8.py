@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8 (no ON-OFF cycles)."""
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: fig8.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    # download rate is bandwidth-bound, uncorrelated with the encoding rate
+    assert abs(result.rate_correlation) < 0.6
+    for point in result.points:
+        assert point.download_rate_bps > 2 * point.encoding_rate_bps
+    # even >1200 s videos show no steady state
+    assert (result.long_videos_without_steady_state
+            == result.long_videos_checked)

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 9 (ACK-clock analysis + idle-reset ablation)."""
+
+import pytest
+
+from repro.experiments import fig9
+
+KB = 1024
+
+
+def test_bench_fig9(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: fig9.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    curves = {c.label: c for c in result.curves}
+    # Flash: the whole 64 kB block arrives back-to-back
+    assert curves["Flash"].cdf.median == pytest.approx(64 * KB, rel=0.15)
+    # per-application curves differ (min(cwnd, block size) per app)
+    assert curves["Chrome"].cdf.median > curves["Flash"].cdf.median
+    # iPad: fresh connections per block keep the ACK clock
+    assert curves["iPad"].cdf.median <= 2 * result.init_window_bytes
+    # ablation: the RFC 5681 idle reset restores the ACK clock
+    assert (result.flash_with_idle_reset.cdf.median
+            < result.flash_no_reset.cdf.median / 4)

@@ -1,0 +1,34 @@
+"""Benchmark: validate the Section-6 model (Eqs (1)-(9))."""
+
+import pytest
+
+from repro.experiments import model_validation
+
+
+def test_bench_model_validation(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: model_validation.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    # Eqs (3)/(4): simulation matches the closed forms
+    for row in result.moment_rows:
+        assert row.mean_error < 0.1, row.strategy
+        assert row.var_error < 0.25, row.strategy
+    # strategy invariance: all three strategies share the same moments
+    means = [r.empirical_mean for r in result.moment_rows]
+    variances = [r.empirical_var for r in result.moment_rows]
+    assert max(means) / min(means) < 1.1
+    assert max(variances) / min(variances) < 1.4
+    # Eq (7): the paper's 53.3 s worked example
+    assert result.critical_duration_s == pytest.approx(53.33, rel=0.01)
+    # Eq (9): Monte-Carlo waste matches the closed form
+    err = (abs(result.waste_empirical_bps - result.waste_closed_bps)
+           / result.waste_closed_bps)
+    assert err < 0.2
+    # waste grows with both buffering and accumulation ratio
+    sweep = {(p.buffering_playback_s, p.accumulation_ratio): p.wasted_bps
+             for p in result.sweep_rows}
+    assert sweep[(5.0, 1.0)] < sweep[(40.0, 1.0)]
+    assert sweep[(40.0, 1.0)] < sweep[(40.0, 1.5)]
+    # smoothness: doubling rates cuts the CV by sqrt(2)
+    assert result.migration_smoothness_ratio == pytest.approx(2 ** -0.5,
+                                                              rel=0.01)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 (the strategy matrix)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: table1.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    assert result.accuracy == 1.0, "a Table 1 cell stopped reproducing"

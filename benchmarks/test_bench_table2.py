@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 2 (strategy comparison under interruption)."""
+
+from repro.experiments import table2
+from repro.streaming import StreamingStrategy
+
+
+def test_bench_table2(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: table2.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    by = {r.strategy: r for r in result.rows}
+    no = by[StreamingStrategy.NO_ONOFF]
+    long_ = by[StreamingStrategy.LONG_ONOFF]
+    short = by[StreamingStrategy.SHORT_ONOFF]
+    # unused bytes on interruption: Large >> Moderate >= Small
+    assert no.unused_bytes > 3 * long_.unused_bytes
+    assert long_.unused_bytes >= 0.9 * short.unused_bytes
+    # buffer occupancy: Large >> Moderate > Small
+    assert no.peak_buffer_bytes > 3 * long_.peak_buffer_bytes
+    assert long_.peak_buffer_bytes > short.peak_buffer_bytes

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""How much bandwidth do abandoned video sessions waste — and what helps?
+
+Section 6.2 of the paper: most viewers quit early (60 % of YouTube videos
+are watched for less than 20 % of their duration), so bytes downloaded
+ahead of the watch point are wasted.  The waste is controlled by two
+player parameters: the buffering amount B' (in playback seconds) and the
+accumulation ratio k.  This example:
+
+1. estimates the wasted-bandwidth rate for a realistic viewer population
+   (Eq (9)), both in closed form and by Monte-Carlo;
+2. sweeps (B', k) to show how the YouTube Flash defaults (40 s, 1.25)
+   compare with leaner settings;
+3. prints the paper's 53.3 s rule of thumb: Flash videos shorter than
+   that are always fetched completely, watched or not.
+
+Run:  python examples/interruption_waste.py
+"""
+
+import random
+
+from repro.analysis import format_table
+from repro.model import (
+    critical_duration,
+    simulate_wasted_bandwidth,
+    waste_sweep,
+    wasted_bandwidth_exact,
+)
+from repro.workloads import EmpiricalInterruptionModel, make_youflash
+
+
+def main() -> None:
+    catalog = make_youflash(seed=2, scale=0.1)
+    lam = 2.0
+    viewers = EmpiricalInterruptionModel()   # Finamore/Gill/Huang calibrated
+    rng = random.Random(11)
+
+    sessions = []
+    for video in catalog:
+        outcome = viewers.sample(rng, video.duration)
+        sessions.append((video.encoding_rate_bps, video.duration,
+                         outcome.beta))
+
+    closed = wasted_bandwidth_exact(lam, sessions, 40.0, 1.25)
+    empirical = simulate_wasted_bandwidth(
+        catalog, lam, horizon=20000.0,
+        buffering_playback_s=40.0, accumulation_ratio=1.25,
+        beta_sampler=lambda r, L: viewers.sample(r, L).beta, seed=5)
+
+    useful = lam * sum(r * d * min(b, 1.0) for r, d, b in sessions) / len(sessions)
+    print("Wasted bandwidth under realistic viewer abandonment")
+    print(f"  watched traffic        : {useful / 1e6:7.1f} Mbps")
+    print(f"  wasted (Eq 9, closed)  : {closed / 1e6:7.1f} Mbps")
+    print(f"  wasted (Monte-Carlo)   : {empirical / 1e6:7.1f} Mbps")
+    print(f"  waste share            : {closed / useful:7.1%} of useful traffic")
+
+    print("\nSweep — player parameters vs wasted bandwidth:")
+    points = waste_sweep(lam, sessions,
+                         buffering_values=[5.0, 20.0, 40.0, 80.0],
+                         accumulation_values=[1.0, 1.25, 1.5])
+    rows = [
+        (f"{p.buffering_playback_s:.0f}", f"{p.accumulation_ratio:.2f}",
+         f"{p.wasted_bps / 1e6:.1f}", f"{p.wasted_share:.0%}")
+        for p in points
+    ]
+    print(format_table(
+        ["B' (s of playback)", "k", "Wasted (Mbps)", "Share of useful"],
+        rows))
+
+    threshold = critical_duration(40.0, 1.25, 0.2)
+    print(
+        f"\nRule of thumb (Eq 7): with B'=40 s and k=1.25, any video shorter\n"
+        f"than {threshold:.1f} s is fully downloaded before a viewer who\n"
+        "watches only 20 % walks away — its whole tail is wasted.\n"
+        "Shrinking the buffering amount and the accumulation ratio is the\n"
+        "lever the paper recommends for interruption-heavy workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Capacity planning for a link carrying video-streaming traffic.
+
+Uses the Section 6 model: with Poisson session arrivals, the aggregate
+rate has mean ``lam*E[e]E[L]`` and variance ``lam*E[e]E[L]E[G]`` (Eqs (3),
+(4)), so a link provisioned at ``E[R] + alpha*sqrt(Var)`` carries the load
+with headroom for variability.  The what-ifs show the paper's two planning
+conclusions:
+
+* migrating between streaming strategies changes **nothing** — mean and
+  variance are strategy-invariant;
+* raising encoding rates (e.g. a default-resolution bump) scales the mean
+  linearly but makes the traffic relatively smoother (CV falls by
+  1/sqrt(scale)).
+
+Run:  python examples/network_dimensioning.py
+"""
+
+from repro.analysis import format_table
+from repro.model import (
+    ConstantRate,
+    OnOffRate,
+    PopulationMoments,
+    concurrent_sessions_quantile,
+    constant_strategy,
+    encoding_rate_migration,
+    mean_concurrent_sessions,
+    plan_for,
+    short_onoff_strategy,
+    simulate_aggregate,
+)
+from repro.workloads import make_youflash
+
+
+def main() -> None:
+    catalog = make_youflash(seed=1, scale=0.05)   # a YouTube-like population
+    lam = 2.0            # sessions per second on this link
+    peak = 8e6           # end-to-end bandwidth per session (G)
+    alpha = 3.0          # tolerance multiplier on sqrt(Var)
+
+    moments = PopulationMoments.from_catalog(catalog, download_rate_bps=peak)
+    plan = plan_for(lam, moments, alpha=alpha)
+
+    print("Link dimensioning for Poisson video sessions")
+    print(f"  arrival rate          : {lam:.1f} sessions/s")
+    print(f"  mean aggregate rate   : {plan.mean_bps / 1e6:8.1f} Mbps   (Eq 3)")
+    print(f"  std deviation         : {plan.variance_bps2 ** 0.5 / 1e6:8.1f} Mbps   (Eq 4)")
+    print(f"  provisioned capacity  : {plan.capacity_bps / 1e6:8.1f} Mbps   "
+          f"(E[R] + {alpha:.0f} sqrt(V))")
+    print(f"  headroom share        : {plan.headroom_share:8.1%}")
+    print(f"  smoothness (CV)       : {plan.smoothness_cv:8.3f}")
+
+    # sanity: Monte-Carlo of actual ON-OFF sessions hits the same moments
+    print("\nModel vs Monte-Carlo (strategy invariance):")
+    rows = []
+    for name, factory in (
+        ("No ON-OFF (bulk)", constant_strategy),
+        ("Short ON-OFF (Flash-like)", short_onoff_strategy()),
+        ("Long ON-OFF (Chrome-like)",
+         short_onoff_strategy(block_bytes=5 * 1024 * 1024,
+                              buffering_playback_s=60.0)),
+    ):
+        sample = simulate_aggregate(catalog, lam, horizon=4000.0,
+                                    strategy=factory, peak_bps=peak, seed=3)
+        rows.append((name, f"{sample.mean_bps / 1e6:.1f}",
+                     f"{sample.std_bps / 1e6:.1f}"))
+    rows.append(("model (Eqs 3-4)", f"{plan.mean_bps / 1e6:.1f}",
+                 f"{plan.variance_bps2 ** 0.5 / 1e6:.1f}"))
+    print(format_table(["Scenario", "Mean (Mbps)", "Std (Mbps)"], rows))
+
+    # what-if: the default resolution doubles every encoding rate
+    effect = encoding_rate_migration(lam, moments, rate_scale=2.0,
+                                     alpha=alpha)
+    print("\nWhat-if — default resolution bump (encoding rates x2):")
+    print(f"  mean rate             : x{effect.mean_ratio:.2f}")
+    print(f"  required capacity     : x{effect.capacity_ratio:.2f}")
+    print(f"  smoothness (CV)       : x{effect.smoothness_ratio:.3f} "
+          "(smoother!)")
+
+    # the flip side: bandwidth is strategy-invariant, but *server load*
+    # (concurrent connections) is not — throttled downloads live longer
+    mean_size_bits = moments.mean_size_bits
+    bulk = ConstantRate(mean_size_bits, peak)
+    paced = OnOffRate(mean_size_bits, peak,
+                      period_s=0.42, duty=1.25 * moments.mean_rate_bps / peak)
+    print("\nServer load (M/G/inf concurrent sessions) per strategy:")
+    for name, process in (("bulk (No ON-OFF)", bulk),
+                          ("paced (Short ON-OFF)", paced)):
+        mean_n = mean_concurrent_sessions(lam, process.duration)
+        q99 = concurrent_sessions_quantile(lam, process.duration, q=0.99)
+        print(f"  {name:22s}: E[D]={process.duration:6.1f} s  "
+              f"E[N]={mean_n:7.1f}  p99={q99}")
+    print("  -> the flip side of Section 2's observation: the reduced\n"
+          "     per-session rate lets more videos share the same capacity,\n"
+          "     but each connection now lives ~8x longer, so servers sized\n"
+          "     by connection state (not bandwidth) see the difference.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""What happens to the network when users switch browsers or devices?
+
+The paper's warning (Sections 1 and 8): the streaming strategy — and hence
+the traffic shape — depends on the application and container, so a mass
+migration (Flash -> HTML5, PCs -> mobiles) changes what the network
+carries.  This example streams the *same* video through every applicable
+client and compares the resulting traffic side by side.
+
+Run:  python examples/strategy_comparison.py
+"""
+
+from repro.analysis import analyze_session, format_table, median
+from repro.simnet import RESEARCH
+from repro.streaming import (
+    Application,
+    Container,
+    Service,
+    SessionConfig,
+    run_session,
+)
+from repro.workloads import MBPS, Video
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    # one 8-minute, 2 Mbps video — available as webM (HTML5) and FLV (Flash)
+    webm = Video(video_id="demo", duration=480.0,
+                 encoding_rate_bps=2.0 * MBPS, resolution="360p",
+                 container="webm",
+                 variants=(("240p", 0.8 * MBPS), ("720p", 3.6 * MBPS)))
+    flv = Video(video_id="demo", duration=480.0,
+                encoding_rate_bps=2.0 * MBPS, resolution="360p",
+                container="flv")
+
+    cases = [
+        ("Flash / any browser", flv, Application.FIREFOX, Container.FLASH),
+        ("HTML5 / IE", webm, Application.INTERNET_EXPLORER, Container.HTML5),
+        ("HTML5 / Firefox", webm, Application.FIREFOX, Container.HTML5),
+        ("HTML5 / Chrome", webm, Application.CHROME, Container.HTML5),
+        ("HTML5 / Android", webm, Application.ANDROID, Container.HTML5),
+        ("HTML5 / iPad", webm, Application.IOS, Container.HTML5),
+    ]
+
+    rows = []
+    for label, video, application, container in cases:
+        config = SessionConfig(
+            profile=RESEARCH, service=Service.YOUTUBE,
+            application=application, container=container,
+            capture_duration=120.0, seed=7,
+        )
+        result = run_session(video, config)
+        analysis = analyze_session(result, use_true_rate=True)
+        blocks = analysis.block_sizes
+        offs = analysis.onoff.off_durations()
+        rows.append((
+            label,
+            str(analysis.strategy),
+            f"{analysis.buffering_bytes / MB:.1f}",
+            f"{median(blocks) / 1024:.0f}" if blocks else "-",
+            f"{median(offs):.1f}" if offs else "-",
+            f"{result.downloaded / MB:.0f}",
+            result.connections_opened,
+        ))
+
+    print(format_table(
+        ["Client", "Strategy", "Buffering(MB)", "MedBlock(kB)", "MedOFF(s)",
+         "Downloaded(MB)", "Conns"],
+        rows,
+        title="One video, six clients — the traffic the network sees "
+              "(120 s sessions, Research network)",
+    ))
+    print(
+        "\nTakeaway: the same video produces anything from a bulk transfer\n"
+        "(Firefox) to minute-scale bursts (Chrome/Android) purely based on\n"
+        "the client — a population-level migration changes the aggregate\n"
+        "traffic structure even though the content is identical."
+    )
+
+
+if __name__ == "__main__":
+    main()

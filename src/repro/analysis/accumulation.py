@@ -1,0 +1,94 @@
+"""Encoding-rate recovery from traces (the Section 5 measurement method).
+
+For Flash videos the encoding rate comes from the FLV header inside the
+stream.  For HTML5 videos the webM header is unusable (the invalid
+frame-rate entry), so the rate is *estimated* as Content-Length divided by
+the video duration — an approximation the paper blames for the wide
+accumulation-ratio spread of Figure 5(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..http import (
+    CodecError,
+    HttpError,
+    parse_container_header,
+    parse_response_head,
+)
+from .flowtable import DownloadTrace, FlowData
+
+
+@dataclass
+class RateEstimate:
+    """Recovered encoding rate and how it was obtained."""
+
+    rate_bps: Optional[float]
+    method: str                 # "flv-header" | "content-length" | "none"
+    content_length: Optional[int] = None
+    container: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.rate_bps is not None and self.rate_bps > 0
+
+
+def estimate_encoding_rate(
+    flow: FlowData,
+    *,
+    duration: Optional[float] = None,
+) -> RateEstimate:
+    """Recover the encoding rate from one flow's leading payload bytes.
+
+    ``duration`` is the video duration known out-of-band (the paper reads
+    it from the YouTube page/API); it is required for the Content-Length
+    fallback used on webM streams.
+    """
+    head = bytes(flow.head_bytes)
+    if not head:
+        return RateEstimate(None, "none")
+    try:
+        parsed = parse_response_head(head)
+    except HttpError:
+        return RateEstimate(None, "none")
+    if parsed is None:
+        return RateEstimate(None, "none")
+    response, consumed = parsed
+    content_length = response.content_length
+    body = head[consumed:]
+    container = None
+    try:
+        meta = parse_container_header(body)
+        container = meta.container
+        if meta.has_valid_rate:
+            return RateEstimate(
+                meta.encoding_rate_bps,
+                "flv-header",
+                content_length=content_length,
+                container=container,
+            )
+    except CodecError:
+        pass
+    # webM (or truncated header): fall back to Content-Length / duration
+    if content_length is not None and duration and duration > 0:
+        return RateEstimate(
+            content_length * 8 / duration,
+            "content-length",
+            content_length=content_length,
+            container=container,
+        )
+    return RateEstimate(None, "none", content_length=content_length,
+                        container=container)
+
+
+def estimate_session_rate(
+    trace: DownloadTrace,
+    *,
+    duration: Optional[float] = None,
+) -> RateEstimate:
+    """Encoding rate of the session, taken from its main flow."""
+    if not trace.flows:
+        return RateEstimate(None, "none")
+    return estimate_encoding_rate(trace.main_flow(), duration=duration)

@@ -1,0 +1,80 @@
+"""Streaming-strategy classification (Sections 3 and 5).
+
+The decision procedure the paper applies to every trace:
+
+1. no OFF period in the whole download → **no ON-OFF cycles** (bulk);
+2. otherwise, look at the steady-state block sizes: cycles moving more
+   than 2.5 MB are *long*, the rest *short*;
+3. a session whose steady state mixes both regimes substantially (the
+   iPad's periodic re-buffering interleaved with short cycles,
+   Figure 7(a)) is classified as using **multiple strategies**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..streaming.strategy import LONG_BLOCK_THRESHOLD, StreamingStrategy
+from .onoff import OnOffProfile
+
+#: Byte-share bounds deciding Short / Mixed / Long from steady-state blocks.
+MIXED_LOW = 0.2
+MIXED_HIGH = 0.8
+
+#: A steady state means *periodic* cycles: fewer OFF periods than this is
+#: not rate throttling, just an incidentally interrupted bulk transfer
+#: (e.g. one retransmission-timeout stall splitting a download in two).
+MIN_CYCLES = 3
+
+
+@dataclass
+class Classification:
+    """Strategy verdict plus the evidence behind it."""
+
+    strategy: StreamingStrategy
+    block_sizes: List[int]
+    long_byte_share: float
+    cycle_count: int
+
+    def __str__(self) -> str:
+        return str(self.strategy)
+
+
+def classify_onoff(onoff: OnOffProfile,
+                   min_cycles: int = MIN_CYCLES) -> Classification:
+    """Classify one download's ON/OFF profile into a streaming strategy."""
+    if (
+        not onoff.has_off_periods
+        or len(onoff.on_periods) < 2
+        or len(onoff.off_periods) < min_cycles
+    ):
+        return Classification(
+            strategy=StreamingStrategy.NO_ONOFF,
+            block_sizes=[],
+            long_byte_share=0.0,
+            cycle_count=0,
+        )
+    blocks = onoff.block_sizes(skip_first=True)
+    total = sum(blocks)
+    if total <= 0:
+        return Classification(
+            strategy=StreamingStrategy.NO_ONOFF,
+            block_sizes=blocks,
+            long_byte_share=0.0,
+            cycle_count=len(blocks),
+        )
+    long_bytes = sum(b for b in blocks if b > LONG_BLOCK_THRESHOLD)
+    share = long_bytes / total
+    if share >= MIXED_HIGH:
+        strategy = StreamingStrategy.LONG_ONOFF
+    elif share <= MIXED_LOW:
+        strategy = StreamingStrategy.SHORT_ONOFF
+    else:
+        strategy = StreamingStrategy.MIXED
+    return Classification(
+        strategy=strategy,
+        block_sizes=blocks,
+        long_byte_share=share,
+        cycle_count=len(blocks),
+    )

@@ -1,0 +1,221 @@
+"""Flow tracking and download-trace reconstruction from packet records.
+
+The analysis views a streaming session the way the paper's tooling viewed a
+tcpdump capture: a set of TCP flows between a client and the streaming
+server.  :func:`build_download_trace` reconstructs, from raw packets,
+
+* the *arrival events* of new (unique) downstream payload bytes — the
+  cumulative download curve of Figures 2(a), 6(a), 7(a), 10;
+* per-packet *activity* timestamps (retransmissions included), which drive
+  ON/OFF detection;
+* the client's advertised receive-window evolution (Figures 2(b), 6(a));
+* per-flow handshake RTTs (needed by the ACK-clock analysis of Figure 9);
+* the in-order leading payload bytes of each flow, from which HTTP response
+  heads and container metadata are re-parsed.
+
+Sequence numbers are 32-bit wire values; each flow unwraps them
+independently, so the pipeline works on real pcap input too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..pcap.capture import PacketRecord
+from ..simnet.monitor import TimeSeries
+from ..tcp.seqspace import SequenceUnwrapper
+
+FlowKey = Tuple[str, int, str, int]  # (src_ip, src_port, dst_ip, dst_port)
+
+
+@dataclass
+class FlowData:
+    """Downstream state of one TCP flow (server -> client direction)."""
+
+    key: FlowKey
+    syn_time: Optional[float] = None
+    synack_time: Optional[float] = None
+    handshake_rtt: Optional[float] = None
+    first_data_time: Optional[float] = None
+    last_data_time: Optional[float] = None
+    base_seq: Optional[int] = None        # unwrapped seq of first payload byte
+    max_seq_seen: int = 0                 # highest unwrapped end-seq (relative)
+    unique_bytes: int = 0
+    total_payload_bytes: int = 0
+    retransmitted_bytes: int = 0
+    events: List[Tuple[float, int]] = field(default_factory=list)  # (t, advance)
+    activity: List[float] = field(default_factory=list)
+    head_bytes: bytearray = field(default_factory=bytearray)
+    _head_expect: int = 0
+    _unwrapper: SequenceUnwrapper = field(default_factory=SequenceUnwrapper)
+
+    HEAD_CAPTURE_LIMIT = 8192
+
+    def on_data_packet(self, record: PacketRecord) -> int:
+        """Account one downstream data packet; returns the unique-byte advance."""
+        seq = self._unwrapper.unwrap(record.seq)
+        if self.base_seq is None:
+            self.base_seq = seq
+        rel = seq - self.base_seq
+        end = rel + record.payload_len
+        advance = max(0, end - self.max_seq_seen)
+        # client-side retransmission detection by sequence regression (what
+        # tstat-style tools do): a data packet starting below the highest
+        # sequence already seen is a retransmission — either a duplicate or
+        # a late hole-filler whose original was lost upstream of the capture
+        if rel < self.max_seq_seen:
+            self.retransmitted_bytes += record.payload_len
+        # capture the in-order leading bytes for HTTP/container parsing
+        if (
+            record.payload is not None
+            and rel == self._head_expect
+            and len(self.head_bytes) < self.HEAD_CAPTURE_LIMIT
+        ):
+            self.head_bytes.extend(record.payload)
+            self._head_expect = rel + record.payload_len
+        self.max_seq_seen = max(self.max_seq_seen, end)
+        self.unique_bytes += advance
+        self.total_payload_bytes += record.payload_len
+        if self.first_data_time is None:
+            self.first_data_time = record.timestamp
+        self.last_data_time = record.timestamp
+        self.events.append((record.timestamp, advance))
+        self.activity.append(record.timestamp)
+        return advance
+
+    @property
+    def retransmission_rate(self) -> float:
+        if self.total_payload_bytes == 0:
+            return 0.0
+        return self.retransmitted_bytes / self.total_payload_bytes
+
+
+@dataclass
+class DownloadTrace:
+    """Aggregate download view of one capture (all flows combined)."""
+
+    client_ip: str
+    server_ip: str
+    flows: Dict[FlowKey, FlowData]
+    events: List[Tuple[float, int]]      # aggregate (time, new unique bytes)
+    activity: List[float]                # aggregate data-packet times
+    window_series: TimeSeries            # client's advertised window over time
+    capture_start: float
+    capture_end: float
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.unique_bytes for f in self.flows.values())
+
+    @property
+    def total_payload_bytes(self) -> int:
+        return sum(f.total_payload_bytes for f in self.flows.values())
+
+    @property
+    def retransmission_rate(self) -> float:
+        payload = self.total_payload_bytes
+        if payload == 0:
+            return 0.0
+        retx = sum(f.retransmitted_bytes for f in self.flows.values())
+        return retx / payload
+
+    @property
+    def flow_count(self) -> int:
+        return len(self.flows)
+
+    @property
+    def first_data_time(self) -> Optional[float]:
+        times = [f.first_data_time for f in self.flows.values()
+                 if f.first_data_time is not None]
+        return min(times) if times else None
+
+    @property
+    def last_data_time(self) -> Optional[float]:
+        times = [f.last_data_time for f in self.flows.values()
+                 if f.last_data_time is not None]
+        return max(times) if times else None
+
+    def cumulative_series(self) -> TimeSeries:
+        """The download-amount-vs-time curve (Figure 2(a) style)."""
+        series = TimeSeries("download-amount")
+        total = 0
+        for t, advance in self.events:
+            total += advance
+            series.append(t, float(total))
+        return series
+
+    def median_handshake_rtt(self) -> Optional[float]:
+        rtts = sorted(
+            f.handshake_rtt for f in self.flows.values()
+            if f.handshake_rtt is not None
+        )
+        if not rtts:
+            return None
+        return rtts[len(rtts) // 2]
+
+    def main_flow(self) -> FlowData:
+        """The flow that carried the most unique bytes."""
+        if not self.flows:
+            raise ValueError("trace has no flows")
+        return max(self.flows.values(), key=lambda f: f.unique_bytes)
+
+    def download_rate_bps(self) -> float:
+        """Average download rate over the active span."""
+        first, last = self.first_data_time, self.last_data_time
+        if first is None or last is None or last <= first:
+            return 0.0
+        return self.total_bytes * 8 / (last - first)
+
+
+def build_download_trace(
+    records: List[PacketRecord],
+    client_ip: str,
+    server_ip: str,
+) -> DownloadTrace:
+    """Reconstruct the aggregate download trace of one capture."""
+    flows: Dict[FlowKey, FlowData] = {}
+    events: List[Tuple[float, int]] = []
+    activity: List[float] = []
+    window_series = TimeSeries("recv-window")
+    capture_start = records[0].timestamp if records else 0.0
+    capture_end = records[-1].timestamp if records else 0.0
+
+    for record in records:
+        downstream = record.src_ip == server_ip and record.dst_ip == client_ip
+        upstream = record.src_ip == client_ip and record.dst_ip == server_ip
+        if not (downstream or upstream):
+            continue
+        if downstream:
+            key = (record.src_ip, record.src_port, record.dst_ip, record.dst_port)
+        else:
+            key = (record.dst_ip, record.dst_port, record.src_ip, record.src_port)
+        flow = flows.get(key)
+        if flow is None:
+            flow = flows[key] = FlowData(key=key)
+
+        if record.is_syn:
+            if upstream and flow.syn_time is None:
+                flow.syn_time = record.timestamp
+            elif downstream and flow.synack_time is None:
+                flow.synack_time = record.timestamp
+                if flow.syn_time is not None:
+                    flow.handshake_rtt = flow.synack_time - flow.syn_time
+            continue
+        if downstream and record.payload_len > 0:
+            advance = flow.on_data_packet(record)
+            events.append((record.timestamp, advance))
+            activity.append(record.timestamp)
+        elif upstream and record.is_ack:
+            window_series.append(record.timestamp, float(record.window))
+
+    return DownloadTrace(
+        client_ip=client_ip,
+        server_ip=server_ip,
+        flows=flows,
+        events=events,
+        activity=activity,
+        window_series=window_series,
+        capture_start=capture_start,
+        capture_end=capture_end,
+    )

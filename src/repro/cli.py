@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``analyze <capture.pcap>`` — run the paper's measurement pipeline on a
+  pcap file (simulated or re-collected real traffic) and print the
+  per-session report: strategy, buffering, blocks, accumulation ratio.
+* ``stream`` — simulate one streaming session and (optionally) write the
+  capture as a pcap file.
+* ``experiment <name>`` — regenerate one of the paper's tables/figures.
+* ``list`` — show the available experiments, applications and networks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Network Characteristics of Video Streaming "
+            "Traffic' (Rao et al., CoNEXT 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="analyze a pcap capture of a streaming session")
+    p_analyze.add_argument("pcap", help="path to a libpcap file")
+    p_analyze.add_argument(
+        "--client", default=None,
+        help="client IP (default: the simulator's 10.0.0.1)")
+    p_analyze.add_argument(
+        "--server", default=None,
+        help="server IP (default: the simulator's 192.0.2.1)")
+    p_analyze.add_argument(
+        "--duration", type=float, default=None,
+        help="video duration in seconds (needed to estimate webM rates)")
+    p_analyze.add_argument(
+        "--gap-threshold", type=float, default=None,
+        help="ON/OFF idle-gap threshold in seconds (default 0.15)")
+
+    p_stream = sub.add_parser(
+        "stream", help="simulate one streaming session")
+    p_stream.add_argument(
+        "--network", default="Research",
+        help="Research | Residence | Academic | Home")
+    p_stream.add_argument(
+        "--service", default="youtube", choices=["youtube", "netflix"])
+    p_stream.add_argument(
+        "--application", default="firefox",
+        choices=["ie", "firefox", "chrome", "ipad", "android"])
+    p_stream.add_argument(
+        "--container", default=None,
+        choices=["flash", "flash-hd", "html5", "silverlight"],
+        help="default: derived from the service/video")
+    p_stream.add_argument("--rate-mbps", type=float, default=1.0,
+                          help="video encoding rate")
+    p_stream.add_argument("--duration", type=float, default=300.0,
+                          help="video duration in seconds")
+    p_stream.add_argument("--capture", type=float, default=120.0,
+                          help="capture length in seconds")
+    p_stream.add_argument("--watch-fraction", type=float, default=1.0,
+                          help="fraction watched before the viewer quits")
+    p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.add_argument("--pcap", default=None,
+                          help="write the capture to this pcap file")
+
+    p_exp = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures")
+    p_exp.add_argument("name", help="table1, fig2..fig12, table2, "
+                                    "model_validation, or 'all'")
+    p_exp.add_argument("--scale", default="small",
+                       choices=["small", "medium", "full"])
+    p_exp.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="show experiments, applications, networks")
+    return parser
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis import analyze_records, bytes_human, median
+    from .pcap import records_from_pcap
+    from .simnet import CLIENT_IP, SERVER_IP
+
+    records = records_from_pcap(args.pcap)
+    if not records:
+        print(f"{args.pcap}: no packets", file=sys.stderr)
+        return 1
+    client = args.client or CLIENT_IP
+    server = args.server or SERVER_IP
+    kwargs = {}
+    if args.gap_threshold is not None:
+        kwargs["gap_threshold"] = args.gap_threshold
+    analysis = analyze_records(records, client, server,
+                               duration=args.duration, **kwargs)
+    trace = analysis.trace
+    print(f"capture          : {args.pcap}")
+    print(f"packets          : {len(records)}")
+    print(f"flows            : {trace.flow_count}")
+    print(f"downloaded       : {bytes_human(trace.total_bytes)}")
+    print(f"retransmissions  : {analysis.retransmission_rate:.2%}")
+    print(f"strategy         : {analysis.strategy}")
+    print(f"buffering amount : {bytes_human(analysis.buffering_bytes)}")
+    blocks = analysis.block_sizes
+    if blocks:
+        print(f"steady blocks    : {len(blocks)}, median "
+              f"{bytes_human(median(blocks))}")
+    if analysis.encoding_rate_bps:
+        print(f"encoding rate    : {analysis.encoding_rate_bps / 1e6:.2f} "
+              f"Mbps ({analysis.rate_estimate.method})")
+        ratio = analysis.accumulation_ratio
+        if ratio is not None:
+            print(f"accumulation     : {ratio:.2f}")
+    return 0
+
+
+_APPLICATIONS = {
+    "ie": "INTERNET_EXPLORER",
+    "firefox": "FIREFOX",
+    "chrome": "CHROME",
+    "ipad": "IOS",
+    "android": "ANDROID",
+}
+
+_CONTAINERS = {
+    "flash": "FLASH",
+    "flash-hd": "FLASH_HD",
+    "html5": "HTML5",
+    "silverlight": "SILVERLIGHT",
+}
+
+
+def _cmd_stream(args) -> int:
+    from .analysis import analyze_session, bytes_human, median
+    from .simnet import get_profile
+    from .streaming import (
+        Application,
+        Container,
+        Service,
+        SessionConfig,
+        run_session,
+    )
+    from .workloads import NETFLIX_LADDER_BPS, Video
+
+    service = Service.NETFLIX if args.service == "netflix" else Service.YOUTUBE
+    application = Application[_APPLICATIONS[args.application]]
+    container = (Container[_CONTAINERS[args.container]]
+                 if args.container else None)
+    if service is Service.NETFLIX:
+        ladder = ("480p-lo", "480p", "720p-lo", "720p", "1080p")
+        video = Video(
+            video_id="cli", duration=args.duration,
+            encoding_rate_bps=NETFLIX_LADDER_BPS[-1], resolution="1080p",
+            container="silverlight",
+            variants=tuple(zip(ladder, NETFLIX_LADDER_BPS)),
+        )
+    else:
+        wants_html5 = container is Container.HTML5 or (
+            container is None and args.application in ("ipad", "android"))
+        video = Video(
+            video_id="cli", duration=args.duration,
+            encoding_rate_bps=args.rate_mbps * 1e6, resolution="360p",
+            container="webm" if wants_html5 else "flv",
+        )
+    config = SessionConfig(
+        profile=get_profile(args.network),
+        service=service,
+        application=application,
+        container=container,
+        capture_duration=args.capture,
+        seed=args.seed,
+        watch_fraction=args.watch_fraction,
+    )
+    result = run_session(video, config)
+    analysis = analyze_session(result, use_true_rate=True)
+    print(f"network          : {config.profile.name}")
+    print(f"client           : {service} / {application}")
+    print(f"video            : {video}")
+    print(f"downloaded       : {bytes_human(result.downloaded)} over "
+          f"{result.connections_opened} connection(s)")
+    print(f"strategy         : {analysis.strategy}")
+    print(f"buffering amount : {bytes_human(analysis.buffering_bytes)}")
+    blocks = analysis.block_sizes
+    if blocks:
+        print(f"steady blocks    : {len(blocks)}, median "
+              f"{bytes_human(median(blocks))}")
+    ratio = analysis.accumulation_ratio
+    if ratio is not None:
+        print(f"accumulation     : {ratio:.2f}")
+    if result.interrupted:
+        print(f"interrupted at   : {result.playback_position_s:.0f} s "
+              f"watched; {bytes_human(result.unused_bytes)} wasted")
+    if args.pcap:
+        n = result.capture.write_pcap(args.pcap)
+        print(f"pcap written     : {args.pcap} ({n} packets)")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .experiments import ALL_EXPERIMENTS, SCALES
+
+    scale = SCALES[args.scale]
+    names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"know {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        result = ALL_EXPERIMENTS[name].run(scale, seed=args.seed)
+        print(result.report())
+        print()
+    return 0
+
+
+def _cmd_list() -> int:
+    from .experiments import ALL_EXPERIMENTS
+    from .simnet import PROFILES
+
+    print("experiments :", ", ".join(ALL_EXPERIMENTS))
+    print("networks    :", ", ".join(PROFILES))
+    print("applications:", ", ".join(_APPLICATIONS))
+    print("containers  :", ", ".join(_CONTAINERS))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "list":
+        return _cmd_list()
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

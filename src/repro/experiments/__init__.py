@@ -1,0 +1,92 @@
+"""One experiment module per table/figure of the paper.
+
+Each module exposes ``run(scale=SMALL, seed=0)`` returning a result object
+with a ``report()`` method printing the rows/series the paper reports.
+
+==================  ==========================================
+Module              Paper content
+==================  ==========================================
+``table1``          Table 1: strategy per (application, container)
+``fig1``            Fig 1: the phases schematic, from a real session
+``fig2``            Fig 2: short ON-OFF + receive-window evolution
+``fig3``            Fig 3: buffering amounts (Flash, HTML5/IE)
+``fig4``            Fig 4: Flash steady state (64 kB, k=1.25)
+``fig5``            Fig 5: HTML5/IE steady state (256 kB)
+``fig6``            Fig 6: long ON-OFF (Chrome, Android)
+``fig7``            Fig 7: iPad's multiple strategies
+``fig8``            Fig 8: no ON-OFF (HD); rate uncorrelated
+``fig9``            Fig 9: missing ACK clock (+ idle-reset ablation)
+``fig10``           Fig 10: Netflix strategies
+``fig11``           Fig 11: Netflix buffering amounts
+``fig12``           Fig 12: Netflix block sizes
+``table2``          Table 2: strategy comparison under interruption
+``model_validation`` Section 6: Eqs (1)-(9) vs Monte-Carlo
+``ext_loss_impact`` Extension: strategy impact on congestion losses
+                    (the future work named in Section 8)
+==================  ==========================================
+"""
+
+from . import (
+    ext_loss_impact,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    model_validation,
+    table1,
+    table2,
+)
+from .common import FULL, MEDIUM, SCALES, SMALL, Scale, pick_videos
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "table2": table2,
+    "model_validation": model_validation,
+    "ext_loss_impact": ext_loss_impact,
+}
+
+__all__ = [
+    "Scale",
+    "SMALL",
+    "MEDIUM",
+    "FULL",
+    "SCALES",
+    "pick_videos",
+    "ALL_EXPERIMENTS",
+    "table1",
+    "fig1",
+    "ext_loss_impact",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "model_validation",
+]

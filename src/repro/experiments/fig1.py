@@ -1,0 +1,116 @@
+"""Figure 1 — the phases of a video download (the paper's schematic).
+
+Figure 1 is an illustration: a buffering phase climbing at the end-to-end
+available bandwidth, then a steady state of ON-OFF cycles whose slope is
+the average rate.  This experiment regenerates the schematic's quantities
+from an actual simulated session — buffering duration and amount, cycle
+duration, block size, ON and OFF durations, the two slopes — and renders
+the download curve as a text plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis import analyze_session, mean
+from ..simnet import RESEARCH, TimeSeries
+from ..streaming import (
+    Application,
+    Container,
+    Service,
+    SessionConfig,
+    run_session,
+)
+from ..workloads import MBPS, Video
+from .common import SMALL, Scale
+
+KB = 1024
+
+
+@dataclass
+class Fig1Result:
+    download_series: TimeSeries
+    buffering_end_s: float
+    buffering_bytes: int
+    buffering_slope_bps: float      # ~ end-to-end available bandwidth
+    steady_slope_bps: float         # ~ k * e
+    cycle_duration_s: float
+    block_bytes: float
+    on_duration_s: float
+    off_duration_s: float
+    encoding_rate_bps: float
+
+    def ascii_plot(self, width: int = 64, height: int = 12) -> str:
+        """The Figure 1 curve as a text plot (time -> download amount)."""
+        t1 = self.download_series.times[-1]
+        top = self.download_series.values[-1]
+        rows = [[" "] * width for _ in range(height)]
+        for i in range(width):
+            t = t1 * i / (width - 1)
+            try:
+                value = self.download_series.value_at(t)
+            except ValueError:
+                value = 0.0
+            row = height - 1 - int(value / top * (height - 1))
+            rows[row][i] = "#"
+        boundary_col = int(self.buffering_end_s / t1 * (width - 1))
+        for row in rows:
+            if row[boundary_col] == " ":
+                row[boundary_col] = "|"
+        lines = ["".join(row) for row in rows]
+        lines.append("-" * width)
+        label = "buffering | steady state (ON-OFF cycles)"
+        lines.append(label[:width])
+        return "\n".join(lines)
+
+    def report(self) -> str:
+        return "\n".join([
+            "Figure 1 — phases of a video download (regenerated from a "
+            "simulated Flash session)",
+            "",
+            self.ascii_plot(),
+            "",
+            f"  buffering phase : {self.buffering_end_s:.1f} s, "
+            f"{self.buffering_bytes / 1e6:.1f} MB at "
+            f"{self.buffering_slope_bps / 1e6:.1f} Mbps "
+            "(end-to-end available bandwidth)",
+            f"  steady state    : {self.steady_slope_bps / 1e6:.2f} Mbps "
+            f"average (encoding rate {self.encoding_rate_bps / 1e6:.2f} "
+            "Mbps x accumulation ratio)",
+            f"  cycle duration  : {self.cycle_duration_s:.2f} s  "
+            f"(ON {self.on_duration_s * 1000:.0f} ms + "
+            f"OFF {self.off_duration_s:.2f} s)",
+            f"  block size      : {self.block_bytes / KB:.0f} kB per cycle",
+        ])
+
+
+def run(scale: Scale = SMALL, seed: int = 0) -> Fig1Result:
+    video = Video(video_id="fig1", duration=600.0,
+                  encoding_rate_bps=1.0 * MBPS, resolution="360p",
+                  container="flv")
+    config = SessionConfig(
+        profile=RESEARCH, service=Service.YOUTUBE,
+        application=Application.FIREFOX, container=Container.FLASH,
+        capture_duration=min(60.0, scale.capture_duration), seed=seed,
+    )
+    result = run_session(video, config)
+    analysis = analyze_session(result)
+    phases = analysis.phases
+    onoff = analysis.onoff
+    ons = onoff.on_periods[1:]
+    offs = onoff.off_periods
+    buffering_slope = (phases.buffering_bytes * 8 / phases.buffering_end
+                       if phases.buffering_end else 0.0)
+    return Fig1Result(
+        download_series=analysis.trace.cumulative_series(),
+        buffering_end_s=phases.buffering_end or 0.0,
+        buffering_bytes=phases.buffering_bytes,
+        buffering_slope_bps=buffering_slope,
+        steady_slope_bps=phases.steady_rate_bps,
+        cycle_duration_s=onoff.mean_cycle_duration() or 0.0,
+        block_bytes=mean([p.bytes for p in ons]) if ons else 0.0,
+        on_duration_s=mean([p.duration for p in ons]) if ons else 0.0,
+        off_duration_s=mean([p.duration for p in offs]) if offs else 0.0,
+        encoding_rate_bps=analysis.encoding_rate_bps or 0.0,
+    )

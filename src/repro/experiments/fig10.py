@@ -1,0 +1,90 @@
+"""Figure 10 — Netflix streaming strategies.
+
+Representative traces in the Academic network: PCs and the iPad show
+short ON-OFF cycles; the native Android application shows long cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis import analyze_session, format_table, median
+from ..simnet import ACADEMIC, TimeSeries
+from ..streaming import (
+    Application,
+    Service,
+    SessionConfig,
+    StreamingStrategy,
+    run_session,
+)
+from ..workloads import make_netpc
+from .common import MB, SMALL, Scale, pick_videos
+
+
+@dataclass
+class Fig10Trace:
+    label: str
+    strategy: StreamingStrategy
+    download_series: TimeSeries
+    median_block: float
+    connections: int
+    median_off: float
+
+
+@dataclass
+class Fig10Result:
+    traces: List[Fig10Trace]
+
+    def report(self) -> str:
+        rows = [
+            (
+                t.label,
+                str(t.strategy),
+                f"{t.median_block / MB:.2f}",
+                t.connections,
+                f"{t.median_off:.1f}",
+                f"{t.download_series.last()[1] / 1e6:.0f}",
+            )
+            for t in self.traces
+        ]
+        return format_table(
+            ["Client", "Strategy", "MedBlk(MB)", "Conns", "MedOFF(s)",
+             "Downloaded(MB)"],
+            rows,
+            title="Figure 10 — Netflix strategies (Academic network)",
+        )
+
+
+def run(scale: Scale = SMALL, seed: int = 0) -> Fig10Result:
+    catalog = make_netpc(seed=seed, scale=max(0.25, scale.catalog_scale))
+    video = pick_videos(catalog, 1, seed, min_duration=1800.0)[0]
+    cases = [
+        ("PC Acad.", Application.FIREFOX),
+        ("iPad Acad.", Application.IOS),
+        ("Android Acad.", Application.ANDROID),
+    ]
+    traces = []
+    for label, application in cases:
+        config = SessionConfig(
+            profile=ACADEMIC,
+            service=Service.NETFLIX,
+            application=application,
+            capture_duration=scale.capture_duration,
+            seed=seed,
+        )
+        result = run_session(video, config)
+        analysis = analyze_session(result, use_true_rate=True)
+        blocks = analysis.block_sizes
+        offs = analysis.onoff.off_durations()
+        traces.append(
+            Fig10Trace(
+                label=label,
+                strategy=analysis.strategy,
+                download_series=analysis.trace.cumulative_series(),
+                median_block=median(blocks) if blocks else 0.0,
+                connections=result.connections_opened,
+                median_off=median(offs) if offs else 0.0,
+            )
+        )
+    return Fig10Result(traces)

@@ -1,0 +1,97 @@
+"""Figure 11 — Netflix buffering amounts.
+
+Netflix prefetches fragments of multiple encoding rates during buffering,
+so the buffering amounts are an order of magnitude larger than YouTube's:
+~50 MB on PCs, ~10 MB on the iPad (a rendition subset), ~40 MB on Android.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis import Cdf, analyze_session, format_table
+from ..simnet import ACADEMIC, HOME, NetworkProfile
+from ..streaming import Application, Service, SessionConfig, run_session
+from ..workloads import make_netmob, make_netpc
+from .common import MB, SMALL, Scale, pick_videos
+
+
+@dataclass
+class Fig11Series:
+    label: str
+    buffering_bytes: List[float]
+    renditions_observed: List[int]   # ladder rungs touched, per session
+
+    @property
+    def cdf(self) -> Cdf:
+        return Cdf.from_samples(self.buffering_bytes)
+
+    @property
+    def typical_renditions(self) -> int:
+        ordered = sorted(self.renditions_observed)
+        return ordered[len(ordered) // 2] if ordered else 0
+
+
+@dataclass
+class Fig11Result:
+    series: List[Fig11Series]
+
+    def report(self) -> str:
+        rows = []
+        for s in self.series:
+            cdf = s.cdf
+            rows.append((
+                s.label,
+                f"{cdf.median / MB:.0f}",
+                f"{cdf.quantile(0.25) / MB:.0f}",
+                f"{cdf.quantile(0.75) / MB:.0f}",
+                s.typical_renditions,
+            ))
+        return format_table(
+            ["Client", "MedianBuf(MB)", "p25(MB)", "p75(MB)", "Renditions"],
+            rows,
+            title=("Figure 11 — Netflix buffering amounts "
+                   "(multi-bitrate prefetch; renditions inferred from the "
+                   "traces' Content-Range totals)"),
+        )
+
+
+def _series(label: str, videos, profile: NetworkProfile,
+            application: Application, scale: Scale, seed: int) -> Fig11Series:
+    from ..analysis import detect_renditions
+
+    amounts = []
+    renditions = []
+    for i, video in enumerate(videos):
+        config = SessionConfig(
+            profile=profile,
+            service=Service.NETFLIX,
+            application=application,
+            capture_duration=scale.capture_duration,
+            seed=seed + 5 * i,
+        )
+        result = run_session(video, config)
+        analysis = analyze_session(result, use_true_rate=True)
+        amounts.append(float(analysis.buffering_bytes))
+        renditions.append(
+            detect_renditions(analysis.trace, duration=video.duration).count)
+    return Fig11Series(label, amounts, renditions)
+
+
+def run(scale: Scale = SMALL, seed: int = 0) -> Fig11Result:
+    netpc = make_netpc(seed=seed, scale=max(0.25, scale.catalog_scale))
+    netmob = make_netmob(seed=seed, scale=max(0.25, scale.catalog_scale),
+                         netpc=netpc)
+    n = max(3, scale.sessions_per_cell // 2)
+    pc_videos = pick_videos(netpc, n, seed, min_duration=1800.0)
+    mob_videos = pick_videos(netmob, n, seed, min_duration=1800.0)
+    return Fig11Result([
+        _series("PC Acad.", pc_videos, ACADEMIC, Application.FIREFOX,
+                scale, seed),
+        _series("PC Home", pc_videos, HOME, Application.FIREFOX, scale, seed),
+        _series("iPad Acad.", mob_videos, ACADEMIC, Application.IOS,
+                scale, seed),
+        _series("Android Acad.", mob_videos, ACADEMIC, Application.ANDROID,
+                scale, seed),
+    ])

@@ -1,0 +1,91 @@
+"""Figure 12 — Netflix block sizes depend on the application.
+
+PCs and the iPad fetch blocks mostly below 2.5 MB (short cycles, but
+larger than YouTube's 64/256 kB blocks); the native Android application
+fetches multi-megabyte blocks (long cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis import Cdf, analyze_session, format_table, median
+from ..simnet import ACADEMIC, HOME, NetworkProfile
+from ..streaming import Application, Service, SessionConfig, run_session
+from ..workloads import make_netmob, make_netpc
+from .common import MB, SMALL, Scale, pick_videos
+
+KB = 1024
+
+
+@dataclass
+class Fig12Series:
+    label: str
+    block_sizes: List[int]
+
+    @property
+    def cdf(self) -> Cdf:
+        return Cdf.from_samples(self.block_sizes)
+
+    @property
+    def share_below_threshold(self) -> float:
+        if not self.block_sizes:
+            return 0.0
+        return sum(1 for b in self.block_sizes
+                   if b < 2.5 * MB) / len(self.block_sizes)
+
+
+@dataclass
+class Fig12Result:
+    series: List[Fig12Series]
+
+    def report(self) -> str:
+        rows = []
+        for s in self.series:
+            rows.append((
+                s.label,
+                f"{median(s.block_sizes) / MB:.2f}" if s.block_sizes else "-",
+                f"{s.share_below_threshold:.0%}",
+                f"{s.cdf.quantile(0.9) / MB:.1f}" if s.block_sizes else "-",
+            ))
+        return format_table(
+            ["Client", "MedianBlk(MB)", "<2.5MB", "p90(MB)"],
+            rows,
+            title="Figure 12 — Netflix block sizes per application",
+        )
+
+
+def _series(label: str, videos, profile: NetworkProfile,
+            application: Application, scale: Scale, seed: int) -> Fig12Series:
+    blocks: List[int] = []
+    for i, video in enumerate(videos):
+        config = SessionConfig(
+            profile=profile,
+            service=Service.NETFLIX,
+            application=application,
+            capture_duration=scale.capture_duration,
+            seed=seed + 11 * i,
+        )
+        result = run_session(video, config)
+        analysis = analyze_session(result, use_true_rate=True)
+        blocks.extend(analysis.block_sizes)
+    return Fig12Series(label, blocks)
+
+
+def run(scale: Scale = SMALL, seed: int = 0) -> Fig12Result:
+    netpc = make_netpc(seed=seed, scale=max(0.25, scale.catalog_scale))
+    netmob = make_netmob(seed=seed, scale=max(0.25, scale.catalog_scale),
+                         netpc=netpc)
+    n = max(3, scale.sessions_per_cell // 2)
+    pc_videos = pick_videos(netpc, n, seed, min_duration=1800.0)
+    mob_videos = pick_videos(netmob, n, seed, min_duration=1800.0)
+    return Fig12Result([
+        _series("PC Acad.", pc_videos, ACADEMIC, Application.FIREFOX,
+                scale, seed),
+        _series("PC Home", pc_videos, HOME, Application.FIREFOX, scale, seed),
+        _series("iPad Acad.", mob_videos, ACADEMIC, Application.IOS,
+                scale, seed),
+        _series("Android Acad.", mob_videos, ACADEMIC, Application.ANDROID,
+                scale, seed),
+    ])

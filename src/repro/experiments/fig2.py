@@ -1,0 +1,101 @@
+"""Figure 2 — short ON-OFF cycles and who enforces them.
+
+Streams one Flash video and one HTML5 video through Internet Explorer in
+the Research network and extracts (a) the cumulative download amount and
+(b) the client's advertised receive-window evolution.  The paper's point:
+both sessions show short ON-OFF steps, but only the HTML5 session's
+receive window periodically empties — for Flash the throttling must be
+server-side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..analysis import analyze_session
+from ..simnet import RESEARCH, TimeSeries
+from ..streaming import (
+    Application,
+    Container,
+    Service,
+    SessionConfig,
+    run_session,
+)
+from ..workloads import MBPS, Video
+from .common import SMALL, Scale
+
+KB = 1024
+
+
+@dataclass
+class Fig2Trace:
+    label: str
+    download_series: TimeSeries     # cumulative bytes
+    window_series: TimeSeries       # advertised window, bytes
+    steady_window_min: float
+    steady_window_max: float
+    median_block: float
+
+
+@dataclass
+class Fig2Result:
+    flash: Fig2Trace
+    html5: Fig2Trace
+
+    def report(self) -> str:
+        lines = ["Figure 2 — short ON-OFF cycles (Research network, IE)"]
+        for trace in (self.flash, self.html5):
+            final = trace.download_series.last()[1] / 1e6
+            lines.append(
+                f"  {trace.label:12s} downloaded={final:6.1f} MB  "
+                f"median block={trace.median_block / KB:6.0f} kB  "
+                f"steady rwnd min/max = {trace.steady_window_min / KB:.0f}/"
+                f"{trace.steady_window_max / KB:.0f} kB"
+            )
+        lines.append(
+            "  -> HTML5/IE window periodically empties (client throttles); "
+            "Flash window stays open (server throttles)."
+        )
+        return "\n".join(lines)
+
+
+def _trace(video: Video, container: Container, duration: float,
+           seed: int) -> Fig2Trace:
+    config = SessionConfig(
+        profile=RESEARCH,
+        service=Service.YOUTUBE,
+        application=Application.INTERNET_EXPLORER,
+        container=container,
+        capture_duration=duration,
+        seed=seed,
+    )
+    result = run_session(video, config)
+    analysis = analyze_session(result, use_true_rate=True)
+    windows = analysis.trace.window_series
+    steady = windows.values[len(windows) // 2:] or [0.0]
+    blocks = sorted(analysis.block_sizes)
+    return Fig2Trace(
+        label=str(container),
+        download_series=analysis.trace.cumulative_series(),
+        window_series=windows,
+        steady_window_min=min(steady),
+        steady_window_max=max(steady),
+        median_block=blocks[len(blocks) // 2] if blocks else 0.0,
+    )
+
+
+def run(scale: Scale = SMALL, seed: int = 0) -> Fig2Result:
+    duration = max(60.0, scale.capture_duration / 2)
+    flash_video = Video(
+        video_id="fig2-flash", duration=400.0, encoding_rate_bps=1.0 * MBPS,
+        resolution="360p", container="flv",
+    )
+    html5_video = Video(
+        video_id="fig2-html5", duration=400.0, encoding_rate_bps=2.0 * MBPS,
+        resolution="360p", container="webm",
+    )
+    return Fig2Result(
+        flash=_trace(flash_video, Container.FLASH, duration, seed),
+        html5=_trace(html5_video, Container.HTML5, duration, seed),
+    )

@@ -1,0 +1,152 @@
+"""Minimal HTTP/1.1 messages for video delivery.
+
+Only what the streaming strategies of the paper require: GET requests (with
+optional ``Range`` headers, as used by the iPad player and Netflix), and
+responses with ``Content-Length`` / ``Content-Range`` (the HTML5
+encoding-rate estimation of Section 5 divides the Content-Length by the
+video duration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+CRLF = b"\r\n"
+HEAD_END = b"\r\n\r\n"
+
+
+class HttpError(ValueError):
+    """Malformed HTTP message."""
+
+
+class Headers:
+    """Case-insensitive, order-preserving header collection."""
+
+    def __init__(self, items: Optional[List[Tuple[str, str]]] = None) -> None:
+        self._items: List[Tuple[str, str]] = list(items or [])
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        lower = name.lower()
+        for key, value in self._items:
+            if key.lower() == lower:
+                return value
+        return default
+
+    def set(self, name: str, value: str) -> None:
+        lower = name.lower()
+        for i, (key, _v) in enumerate(self._items):
+            if key.lower() == lower:
+                self._items[i] = (name, value)
+                return
+        self._items.append((name, value))
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def serialize(self) -> bytes:
+        return b"".join(
+            f"{key}: {value}".encode("ascii") + CRLF for key, value in self._items
+        )
+
+    @classmethod
+    def parse(cls, lines: List[bytes]) -> "Headers":
+        items = []
+        for line in lines:
+            if b":" not in line:
+                raise HttpError(f"bad header line {line!r}")
+            key, _sep, value = line.partition(b":")
+            items.append((key.decode("ascii").strip(), value.decode("ascii").strip()))
+        return cls(items)
+
+
+class HttpRequest:
+    """An HTTP request (head only; video requests carry no body)."""
+
+    def __init__(self, method: str, path: str,
+                 headers: Optional[Headers] = None, version: str = "HTTP/1.1"):
+        self.method = method
+        self.path = path
+        self.version = version
+        self.headers = headers if headers is not None else Headers()
+
+    def serialize(self) -> bytes:
+        head = f"{self.method} {self.path} {self.version}".encode("ascii") + CRLF
+        return head + self.headers.serialize() + CRLF
+
+    @property
+    def range_header(self) -> Optional[str]:
+        return self.headers.get("Range")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HttpRequest({self.method} {self.path})"
+
+
+class HttpResponse:
+    """An HTTP response head; the body is streamed separately."""
+
+    def __init__(self, status: int, reason: str = "",
+                 headers: Optional[Headers] = None, version: str = "HTTP/1.1"):
+        self.status = status
+        self.reason = reason or {200: "OK", 206: "Partial Content",
+                                 404: "Not Found", 416: "Range Not Satisfiable"
+                                 }.get(status, "")
+        self.version = version
+        self.headers = headers if headers is not None else Headers()
+
+    def serialize_head(self) -> bytes:
+        line = f"{self.version} {self.status} {self.reason}".encode("ascii") + CRLF
+        return line + self.headers.serialize() + CRLF
+
+    @property
+    def content_length(self) -> Optional[int]:
+        value = self.headers.get("Content-Length")
+        return int(value) if value is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HttpResponse({self.status} {self.reason})"
+
+
+def _split_head(buffer: bytes) -> Optional[Tuple[List[bytes], int]]:
+    end = buffer.find(HEAD_END)
+    if end < 0:
+        return None
+    lines = buffer[:end].split(CRLF)
+    return lines, end + len(HEAD_END)
+
+
+def parse_request(buffer: bytes) -> Optional[Tuple[HttpRequest, int]]:
+    """Parse a request head from ``buffer``.
+
+    Returns ``(request, bytes_consumed)`` or ``None`` if the head is not
+    yet complete.
+    """
+    split = _split_head(buffer)
+    if split is None:
+        return None
+    lines, consumed = split
+    parts = lines[0].decode("ascii").split(" ")
+    if len(parts) != 3:
+        raise HttpError(f"bad request line {lines[0]!r}")
+    method, path, version = parts
+    return HttpRequest(method, path, Headers.parse(lines[1:]), version), consumed
+
+
+def parse_response_head(buffer: bytes) -> Optional[Tuple[HttpResponse, int]]:
+    """Parse a response head; ``None`` while incomplete."""
+    split = _split_head(buffer)
+    if split is None:
+        return None
+    lines, consumed = split
+    parts = lines[0].decode("ascii").split(" ", 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise HttpError(f"bad status line {lines[0]!r}")
+    version = parts[0]
+    status = int(parts[1])
+    reason = parts[2] if len(parts) == 3 else ""
+    return HttpResponse(status, reason, Headers.parse(lines[1:]), version), consumed

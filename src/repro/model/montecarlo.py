@@ -1,0 +1,178 @@
+"""Monte-Carlo validation of the aggregate-traffic model (Section 6).
+
+Generates a long horizon of Poisson session arrivals, assigns each session
+a download-rate process (constant / short ON-OFF / long ON-OFF), samples
+the aggregate rate R(t) on a fine grid, and compares the empirical mean
+and variance against Equations (3) and (4).  This is how the model
+benchmarks demonstrate the strategy-invariance result numerically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..workloads.arrivals import PoissonProcess
+from ..workloads.catalog import Catalog
+from .onoffrate import ConstantRate, OnOffRate, RateProcess
+
+
+@dataclass
+class AggregateSample:
+    """Empirical statistics of one Monte-Carlo run."""
+
+    mean_bps: float
+    variance_bps2: float
+    horizon: float
+    sessions: int
+    warmup: float
+
+    @property
+    def std_bps(self) -> float:
+        return math.sqrt(self.variance_bps2)
+
+
+StrategyFactory = Callable[[float, float, float], RateProcess]
+# (size_bits, encoding_rate_bps, peak_bps) -> RateProcess
+
+
+def constant_strategy(size_bits: float, _e: float, peak: float) -> RateProcess:
+    """The no ON-OFF strategy."""
+    return ConstantRate(size_bits, peak)
+
+
+def short_onoff_strategy(
+    block_bytes: int = 64 * 1024,
+    accumulation_ratio: float = 1.25,
+    buffering_playback_s: float = 40.0,
+) -> StrategyFactory:
+    """Factory of Flash-style short-cycle processes."""
+
+    def build(size_bits: float, e: float, peak: float) -> RateProcess:
+        average = min(accumulation_ratio * e, peak)
+        duty = average / peak
+        block_bits = block_bytes * 8
+        period = block_bits / (duty * peak)
+        buffering = min(size_bits, buffering_playback_s * e)
+        return OnOffRate(size_bits, peak, period, duty, buffering)
+
+    return build
+
+
+def long_onoff_strategy(
+    block_bytes: int = 5 * 1024 * 1024,
+    accumulation_ratio: float = 1.25,
+    buffering_playback_s: float = 60.0,
+) -> StrategyFactory:
+    """Factory of Chrome/Android-style long-cycle processes."""
+    return short_onoff_strategy(block_bytes, accumulation_ratio,
+                                buffering_playback_s)
+
+
+def simulate_aggregate(
+    catalog: Catalog,
+    lam: float,
+    horizon: float,
+    strategy: StrategyFactory,
+    *,
+    peak_bps: float = 10e6,
+    dt: float = 0.5,
+    warmup: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+    seed: int = 0,
+) -> AggregateSample:
+    """Sample the aggregate rate of Poisson video sessions.
+
+    ``warmup`` (default: the catalog's mean download time x 3) is excluded
+    from the statistics so the process is in steady state.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    arrivals = PoissonProcess(lam, rng).times_until(horizon)
+    grid = np.zeros(int(horizon / dt) + 1)
+    times = np.arange(len(grid)) * dt
+
+    max_duration = 0.0
+    for t0 in arrivals:
+        video = rng.choice(catalog.videos)
+        size_bits = video.size_bytes * 8.0
+        process = strategy(size_bits, video.encoding_rate_bps, peak_bps)
+        duration = process.duration
+        max_duration = max(max_duration, duration)
+        lo = int(math.ceil((t0) / dt))
+        hi = min(len(grid) - 1, int((t0 + duration) / dt))
+        if hi < lo:
+            continue
+        local = times[lo:hi + 1] - t0
+        if isinstance(process, ConstantRate):
+            grid[lo:hi + 1] += process.peak_bps
+        elif isinstance(process, OnOffRate):
+            rates = np.zeros(local.shape)
+            in_buffering = local < process.buffering_time
+            rates[in_buffering] = process.peak_bps
+            steady = (~in_buffering) & (local < duration)
+            steady_t = local[steady] - process.buffering_time
+            cycle = np.floor(steady_t / process.period_s)
+            phase = steady_t - cycle * process.period_s
+            on_span = np.where(
+                cycle < process._full_cycles,
+                process.duty * process.period_s,
+                process._remainder_bits / process.peak_bps,
+            )
+            rates[steady] = np.where(phase < on_span, process.peak_bps, 0.0)
+            grid[lo:hi + 1] += rates
+        else:  # pragma: no cover - generic fallback
+            grid[lo:hi + 1] += np.array([process.rate_at(u) for u in local])
+
+    if warmup is None:
+        warmup = min(horizon / 4, 3 * max_duration if max_duration else horizon / 4)
+    keep = times >= warmup
+    samples = grid[keep]
+    if samples.size < 2:
+        raise ValueError("horizon too short for the requested warmup")
+    return AggregateSample(
+        mean_bps=float(samples.mean()),
+        variance_bps2=float(samples.var()),
+        horizon=horizon,
+        sessions=len(arrivals),
+        warmup=warmup,
+    )
+
+
+def simulate_wasted_bandwidth(
+    catalog: Catalog,
+    lam: float,
+    horizon: float,
+    *,
+    buffering_playback_s: float,
+    accumulation_ratio: float,
+    beta_sampler: Callable[[random.Random, float], float],
+    rng: Optional[random.Random] = None,
+    seed: int = 0,
+) -> float:
+    """Empirical wasted-bandwidth rate E[R'] (bits/second).
+
+    Each arriving session draws a watch fraction from ``beta_sampler`` and
+    wastes ``e * (min(B' + k beta L, L) - beta L)`` bits; the long-run
+    wasted rate is total waste / horizon, which converges to Eq. (9).
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    arrivals = PoissonProcess(lam, rng).times_until(horizon)
+    total_bits = 0.0
+    for _t0 in arrivals:
+        video = rng.choice(catalog.videos)
+        beta = beta_sampler(rng, video.duration)
+        if beta >= 1.0:
+            continue
+        downloaded_s = min(
+            buffering_playback_s + accumulation_ratio * beta * video.duration,
+            video.duration,
+        )
+        wasted_s = max(0.0, downloaded_s - beta * video.duration)
+        total_bits += video.encoding_rate_bps * wasted_s
+    return total_bits / horizon

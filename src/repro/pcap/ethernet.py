@@ -1,0 +1,39 @@
+"""Ethernet II framing."""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+ETHERTYPE_IPV4 = 0x0800
+HEADER_LEN = 14
+
+
+class EthernetError(ValueError):
+    """Malformed Ethernet frame."""
+
+
+def mac_from_ip(ip: str) -> bytes:
+    """A deterministic locally-administered MAC for a simulated IP."""
+    parts = [int(p) for p in ip.split(".")]
+    if len(parts) != 4 or not all(0 <= p <= 255 for p in parts):
+        raise EthernetError(f"invalid IPv4 address {ip!r}")
+    return bytes([0x02, 0x00] + parts)
+
+
+def pack(dst_mac: bytes, src_mac: bytes, payload: bytes,
+         ethertype: int = ETHERTYPE_IPV4) -> bytes:
+    """Serialize one Ethernet II frame."""
+    if len(dst_mac) != 6 or len(src_mac) != 6:
+        raise EthernetError("MAC addresses must be 6 bytes")
+    return dst_mac + src_mac + struct.pack("!H", ethertype) + payload
+
+
+def unpack(frame: bytes) -> Tuple[bytes, bytes, int, bytes]:
+    """Parse a frame into ``(dst_mac, src_mac, ethertype, payload)``."""
+    if len(frame) < HEADER_LEN:
+        raise EthernetError(f"frame too short: {len(frame)} bytes")
+    dst = frame[0:6]
+    src = frame[6:12]
+    (ethertype,) = struct.unpack("!H", frame[12:14])
+    return dst, src, ethertype, frame[14:]

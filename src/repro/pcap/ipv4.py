@@ -1,0 +1,81 @@
+"""IPv4 header serialization with internet checksum."""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+HEADER_LEN = 20
+PROTO_TCP = 6
+
+
+class Ipv4Error(ValueError):
+    """Malformed IPv4 packet."""
+
+
+def checksum(data: bytes) -> int:
+    """RFC 1071 internet checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def ip_to_bytes(ip: str) -> bytes:
+    parts = [int(p) for p in ip.split(".")]
+    if len(parts) != 4 or not all(0 <= p <= 255 for p in parts):
+        raise Ipv4Error(f"invalid IPv4 address {ip!r}")
+    return bytes(parts)
+
+
+def bytes_to_ip(raw: bytes) -> str:
+    if len(raw) != 4:
+        raise Ipv4Error(f"need 4 bytes for an address, got {len(raw)}")
+    return ".".join(str(b) for b in raw)
+
+
+def pack(src_ip: str, dst_ip: str, payload: bytes, *, ident: int = 0,
+         ttl: int = 64, proto: int = PROTO_TCP) -> bytes:
+    """Serialize an IPv4 packet around ``payload``."""
+    total_length = HEADER_LEN + len(payload)
+    if total_length > 0xFFFF:
+        raise Ipv4Error(f"packet too large: {total_length} bytes")
+    header = struct.pack(
+        "!BBHHHBBH4s4s",
+        (4 << 4) | 5,          # version 4, IHL 5 words
+        0,                     # DSCP/ECN
+        total_length,
+        ident & 0xFFFF,
+        0x4000,                # flags: don't fragment
+        ttl,
+        proto,
+        0,                     # checksum placeholder
+        ip_to_bytes(src_ip),
+        ip_to_bytes(dst_ip),
+    )
+    csum = checksum(header)
+    return header[:10] + struct.pack("!H", csum) + header[12:] + payload
+
+
+def unpack(packet: bytes, *, verify_checksum: bool = True) -> Tuple[str, str, int, bytes]:
+    """Parse a packet into ``(src_ip, dst_ip, proto, payload)``."""
+    if len(packet) < HEADER_LEN:
+        raise Ipv4Error(f"packet too short: {len(packet)} bytes")
+    version_ihl = packet[0]
+    if version_ihl >> 4 != 4:
+        raise Ipv4Error(f"not IPv4 (version {version_ihl >> 4})")
+    ihl = (version_ihl & 0x0F) * 4
+    if ihl < HEADER_LEN or len(packet) < ihl:
+        raise Ipv4Error(f"bad IHL {ihl}")
+    if verify_checksum and checksum(packet[:ihl]) != 0:
+        raise Ipv4Error("IPv4 header checksum mismatch")
+    (total_length,) = struct.unpack("!H", packet[2:4])
+    proto = packet[9]
+    src = bytes_to_ip(packet[12:16])
+    dst = bytes_to_ip(packet[16:20])
+    payload = packet[ihl:total_length]
+    return src, dst, proto, payload

@@ -1,0 +1,115 @@
+"""Classic libpcap file format (the format tcpdump/windump wrote in 2011).
+
+Global header: magic 0xa1b2c3d4, version 2.4, linktype 1 (Ethernet).
+Each record: ts_sec, ts_usec, incl_len (captured), orig_len (on the wire).
+Both byte orders are accepted on read.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterator, List, Tuple, Union
+
+MAGIC_NATIVE = 0xA1B2C3D4
+MAGIC_SWAPPED = 0xD4C3B2A1
+VERSION_MAJOR = 2
+VERSION_MINOR = 4
+LINKTYPE_ETHERNET = 1
+DEFAULT_SNAPLEN = 65535
+
+GLOBAL_HEADER_LEN = 24
+RECORD_HEADER_LEN = 16
+
+
+class PcapError(ValueError):
+    """Malformed pcap file."""
+
+
+class PcapWriter:
+    """Write packets to a classic pcap stream."""
+
+    def __init__(self, fileobj: BinaryIO, snaplen: int = DEFAULT_SNAPLEN,
+                 linktype: int = LINKTYPE_ETHERNET) -> None:
+        if snaplen <= 0:
+            raise PcapError(f"snaplen must be positive, got {snaplen}")
+        self._file = fileobj
+        self.snaplen = snaplen
+        self.linktype = linktype
+        self.packets_written = 0
+        self._file.write(
+            struct.pack(
+                "!IHHiIII",
+                MAGIC_NATIVE,
+                VERSION_MAJOR,
+                VERSION_MINOR,
+                0,  # thiszone
+                0,  # sigfigs
+                snaplen,
+                linktype,
+            )
+        )
+
+    def write_packet(self, timestamp: float, frame: bytes) -> None:
+        """Append one frame captured at ``timestamp`` (seconds)."""
+        if timestamp < 0:
+            raise PcapError(f"negative timestamp {timestamp!r}")
+        ts_sec = int(timestamp)
+        ts_usec = int(round((timestamp - ts_sec) * 1_000_000))
+        if ts_usec >= 1_000_000:
+            ts_sec += 1
+            ts_usec -= 1_000_000
+        captured = frame[: self.snaplen]
+        self._file.write(
+            struct.pack("!IIII", ts_sec, ts_usec, len(captured), len(frame))
+        )
+        self._file.write(captured)
+        self.packets_written += 1
+
+
+class PcapReader:
+    """Iterate ``(timestamp, captured_bytes, original_length)`` records."""
+
+    def __init__(self, fileobj: BinaryIO) -> None:
+        self._file = fileobj
+        header = fileobj.read(GLOBAL_HEADER_LEN)
+        if len(header) < GLOBAL_HEADER_LEN:
+            raise PcapError("truncated global header")
+        (magic,) = struct.unpack("!I", header[:4])
+        if magic == MAGIC_NATIVE:
+            self._endian = "!"
+        elif magic == MAGIC_SWAPPED:
+            self._endian = "<"
+        else:
+            raise PcapError(f"bad magic 0x{magic:08x}")
+        (self.version_major, self.version_minor, _tz, _sig, self.snaplen,
+         self.linktype) = struct.unpack(self._endian + "HHiIII", header[4:])
+
+    def __iter__(self) -> Iterator[Tuple[float, bytes, int]]:
+        while True:
+            header = self._file.read(RECORD_HEADER_LEN)
+            if not header:
+                return
+            if len(header) < RECORD_HEADER_LEN:
+                raise PcapError("truncated record header")
+            ts_sec, ts_usec, incl_len, orig_len = struct.unpack(
+                self._endian + "IIII", header
+            )
+            data = self._file.read(incl_len)
+            if len(data) < incl_len:
+                raise PcapError("truncated packet data")
+            yield ts_sec + ts_usec / 1_000_000, data, orig_len
+
+
+def write_pcap(path: str, packets, snaplen: int = DEFAULT_SNAPLEN) -> int:
+    """Write ``(timestamp, frame_bytes)`` pairs to ``path``; returns count."""
+    with open(path, "wb") as f:
+        writer = PcapWriter(f, snaplen=snaplen)
+        for timestamp, frame in packets:
+            writer.write_packet(timestamp, frame)
+        return writer.packets_written
+
+
+def read_pcap(path: str) -> List[Tuple[float, bytes, int]]:
+    """Read all records of the file at ``path``."""
+    with open(path, "rb") as f:
+        return list(PcapReader(f))

@@ -1,0 +1,161 @@
+"""TCP header serialization, including options and window scaling.
+
+Real 2011 streaming sessions advertise multi-megabyte receive windows, which
+only fit the 16-bit window field through the window-scale option (RFC 1323).
+The writer emits MSS + window-scale options on SYN segments and scales the
+window on all others; the reader tracks the negotiated shift per direction —
+exactly what tcpdump-based analyses (like the paper's Figure 2b) must do.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .ipv4 import checksum, ip_to_bytes
+
+HEADER_LEN = 20
+
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+
+OPT_END = 0
+OPT_NOP = 1
+OPT_MSS = 2
+OPT_WSCALE = 3
+
+
+class TcpWireError(ValueError):
+    """Malformed TCP segment."""
+
+
+@dataclass
+class WireSegment:
+    """A parsed on-the-wire TCP segment."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    window_raw: int          # the 16-bit field, unscaled
+    payload: bytes
+    mss: Optional[int] = None
+    wscale: Optional[int] = None
+
+    def scaled_window(self, shift: int) -> int:
+        """Actual window in bytes given the negotiated scale shift."""
+        if self.flags & SYN:
+            return self.window_raw  # scale never applies to the SYN itself
+        return self.window_raw << shift
+
+
+def _build_options(mss: Optional[int], wscale: Optional[int]) -> bytes:
+    options = b""
+    if mss is not None:
+        options += struct.pack("!BBH", OPT_MSS, 4, mss)
+    if wscale is not None:
+        options += struct.pack("!BBB", OPT_WSCALE, 3, wscale) + bytes([OPT_NOP])
+    return options
+
+
+def _parse_options(raw: bytes) -> Tuple[Optional[int], Optional[int]]:
+    mss = None
+    wscale = None
+    i = 0
+    while i < len(raw):
+        kind = raw[i]
+        if kind == OPT_END:
+            break
+        if kind == OPT_NOP:
+            i += 1
+            continue
+        if i + 1 >= len(raw):
+            raise TcpWireError("truncated TCP option")
+        length = raw[i + 1]
+        if length < 2 or i + length > len(raw):
+            raise TcpWireError(f"bad TCP option length {length}")
+        body = raw[i + 2 : i + length]
+        if kind == OPT_MSS and len(body) == 2:
+            (mss,) = struct.unpack("!H", body)
+        elif kind == OPT_WSCALE and len(body) == 1:
+            wscale = body[0]
+        i += length
+    return mss, wscale
+
+
+def pseudo_header(src_ip: str, dst_ip: str, tcp_len: int) -> bytes:
+    return ip_to_bytes(src_ip) + ip_to_bytes(dst_ip) + struct.pack("!BBH", 0, 6, tcp_len)
+
+
+def pack(
+    src_ip: str,
+    dst_ip: str,
+    src_port: int,
+    dst_port: int,
+    *,
+    seq: int,
+    ack: int,
+    flags: int,
+    window: int,
+    payload: bytes = b"",
+    mss: Optional[int] = None,
+    wscale: Optional[int] = None,
+) -> bytes:
+    """Serialize one TCP segment (with checksum over the pseudo-header).
+
+    ``window`` is the raw 16-bit field value; callers apply scaling.
+    """
+    if not 0 <= window <= 0xFFFF:
+        raise TcpWireError(f"window field out of range: {window}")
+    options = _build_options(mss, wscale)
+    if len(options) % 4:
+        options += bytes([OPT_END] * (4 - len(options) % 4))
+    data_offset_words = (HEADER_LEN + len(options)) // 4
+    header = struct.pack(
+        "!HHIIBBHHH",
+        src_port,
+        dst_port,
+        seq & 0xFFFFFFFF,
+        ack & 0xFFFFFFFF,
+        data_offset_words << 4,
+        flags,
+        window,
+        0,  # checksum placeholder
+        0,  # urgent pointer
+    )
+    segment = header + options + payload
+    csum = checksum(pseudo_header(src_ip, dst_ip, len(segment)) + segment)
+    return segment[:16] + struct.pack("!H", csum) + segment[18:]
+
+
+def unpack(src_ip: str, dst_ip: str, segment: bytes, *,
+           verify_checksum: bool = True) -> WireSegment:
+    """Parse a TCP segment; checksum verified against the pseudo-header."""
+    if len(segment) < HEADER_LEN:
+        raise TcpWireError(f"segment too short: {len(segment)} bytes")
+    (src_port, dst_port, seq, ack, offset_flags, flags, window, _csum, _urg) = (
+        struct.unpack("!HHIIBBHHH", segment[:HEADER_LEN])
+    )
+    data_offset = (offset_flags >> 4) * 4
+    if data_offset < HEADER_LEN or data_offset > len(segment):
+        raise TcpWireError(f"bad data offset {data_offset}")
+    if verify_checksum:
+        if checksum(pseudo_header(src_ip, dst_ip, len(segment)) + segment) != 0:
+            raise TcpWireError("TCP checksum mismatch")
+    mss, wscale = _parse_options(segment[HEADER_LEN:data_offset])
+    return WireSegment(
+        src_port=src_port,
+        dst_port=dst_port,
+        seq=seq,
+        ack=ack,
+        flags=flags,
+        window_raw=window,
+        payload=segment[data_offset:],
+        mss=mss,
+        wscale=wscale,
+    )

@@ -1,0 +1,80 @@
+"""Discrete-event network simulation substrate.
+
+This package provides the event loop, links, hosts and measurement-network
+profiles on which the from-scratch TCP implementation (:mod:`repro.tcp`) and
+the streaming applications (:mod:`repro.streaming`) run.
+"""
+
+from .clock import SimClock
+from .errors import (
+    AddressError,
+    ConfigurationError,
+    DeadlockError,
+    SchedulingError,
+    SimulationError,
+)
+from .link import Link, LinkStats
+from .loss import (
+    BernoulliLoss,
+    DeterministicLoss,
+    GilbertElliottLoss,
+    LossModel,
+    NoLoss,
+    PredicateLoss,
+)
+from .monitor import PeriodicProbe, TimeSeries
+from .network import Network
+from .node import Host
+from .path import Path
+from .profiles import (
+    ACADEMIC,
+    CLIENT_IP,
+    HOME,
+    PROFILES,
+    PROFILE_ORDER,
+    RESEARCH,
+    RESIDENCE,
+    SERVER_IP,
+    NetworkProfile,
+    build_client_server,
+    get_profile,
+)
+from .rng import RngRegistry, derive_seed
+from .scheduler import EventHandle, EventScheduler
+
+__all__ = [
+    "SimClock",
+    "EventScheduler",
+    "EventHandle",
+    "Network",
+    "Host",
+    "Link",
+    "LinkStats",
+    "Path",
+    "TimeSeries",
+    "PeriodicProbe",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "DeterministicLoss",
+    "PredicateLoss",
+    "RngRegistry",
+    "derive_seed",
+    "NetworkProfile",
+    "PROFILES",
+    "PROFILE_ORDER",
+    "RESEARCH",
+    "RESIDENCE",
+    "ACADEMIC",
+    "HOME",
+    "CLIENT_IP",
+    "SERVER_IP",
+    "get_profile",
+    "build_client_server",
+    "SimulationError",
+    "SchedulingError",
+    "DeadlockError",
+    "AddressError",
+    "ConfigurationError",
+]

@@ -1,0 +1,45 @@
+"""Simulation clock.
+
+The clock is a mutable cell owned by the :class:`~repro.simnet.scheduler.
+EventScheduler`; components hold a reference to it and read the current
+simulated time through :meth:`now`.  Time is a float number of seconds since
+the beginning of the simulation.
+"""
+
+from __future__ import annotations
+
+from .errors import SchedulingError
+
+
+class SimClock:
+    """Monotonic simulated-time clock.
+
+    Only the event scheduler should advance the clock; every other component
+    treats it as read-only.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise SchedulingError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to time ``t``.
+
+        Raises :class:`SchedulingError` if ``t`` is in the past; the
+        simulation is strictly monotonic.
+        """
+        if t < self._now:
+            raise SchedulingError(
+                f"cannot move clock backwards from {self._now!r} to {t!r}"
+            )
+        self._now = t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now!r})"

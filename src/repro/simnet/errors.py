@@ -1,0 +1,22 @@
+"""Errors raised by the discrete-event simulation substrate."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulation errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled incorrectly (e.g. in the past)."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation ran out of events before reaching a requested time
+    while a caller still expected progress."""
+
+
+class AddressError(SimulationError):
+    """A host or port lookup failed during segment delivery."""
+
+
+class ConfigurationError(SimulationError):
+    """A component was constructed or wired with invalid parameters."""

@@ -1,0 +1,160 @@
+"""Directed link with finite rate, propagation delay and a drop-tail buffer.
+
+The link models the access bottleneck of the paper's four measurement
+networks.  A packet handed to :meth:`Link.transmit`:
+
+1. is dropped if the (virtual) transmit queue already holds more than
+   ``buffer_bytes``;
+2. otherwise waits for the transmitter to become free, is serialized at
+   ``rate_bps``, may be dropped by the configured :class:`LossModel`, and is
+   finally delivered ``prop_delay`` seconds after serialization finishes.
+
+The queue is *virtual*: instead of an explicit FIFO we track the time at
+which the transmitter becomes idle, ``_busy_until``; the backlog in bytes at
+time ``t`` is ``(busy_until - t) * rate / 8``.  This is exact for a FIFO
+drop-tail queue and avoids per-packet bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from .errors import ConfigurationError
+from .loss import LossModel, NoLoss
+from .scheduler import EventScheduler
+
+# A wire packet is anything exposing its on-the-wire size in bytes.
+DeliverFn = Callable[[Any], None]
+TapFn = Callable[[float, Any], None]
+
+
+class LinkStats:
+    """Counters kept by each link."""
+
+    __slots__ = (
+        "packets_in",
+        "packets_delivered",
+        "packets_lost",
+        "packets_dropped_queue",
+        "bytes_delivered",
+    )
+
+    def __init__(self) -> None:
+        self.packets_in = 0
+        self.packets_delivered = 0
+        self.packets_lost = 0
+        self.packets_dropped_queue = 0
+        self.bytes_delivered = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LinkStats({self.as_dict()!r})"
+
+
+class Link:
+    """One direction of a network path."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        rate_bps: float,
+        prop_delay: float,
+        *,
+        buffer_bytes: int = 256 * 1024,
+        loss_model: Optional[LossModel] = None,
+        name: str = "link",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError(f"rate_bps must be positive, got {rate_bps!r}")
+        if prop_delay < 0:
+            raise ConfigurationError(f"prop_delay must be >= 0, got {prop_delay!r}")
+        if buffer_bytes <= 0:
+            raise ConfigurationError(f"buffer_bytes must be positive, got {buffer_bytes!r}")
+        self.scheduler = scheduler
+        self.rate_bps = float(rate_bps)
+        self.prop_delay = float(prop_delay)
+        self.buffer_bytes = int(buffer_bytes)
+        self.loss_model = loss_model if loss_model is not None else NoLoss()
+        self.name = name
+        self.deliver: Optional[DeliverFn] = None
+        self.stats = LinkStats()
+        self._busy_until = 0.0
+        self._taps: List[TapFn] = []
+        self._delivery_taps: List[TapFn] = []
+
+    # -- wiring -------------------------------------------------------------
+
+    def connect(self, deliver: DeliverFn) -> None:
+        """Set the far-end delivery callback."""
+        self.deliver = deliver
+
+    def add_tap(self, tap: TapFn) -> None:
+        """Register a sender-side sniffer: ``tap(send_time, packet)`` fires
+        for every packet that survives the queue, including ones later lost
+        downstream (what a capture box at the transmitter sees)."""
+        self._taps.append(tap)
+
+    def add_delivery_tap(self, tap: TapFn) -> None:
+        """Register a receiver-side sniffer: ``tap(arrival_time, packet)``
+        fires only for packets actually delivered (what tcpdump at the far
+        end of the link sees — lost packets never appear)."""
+        self._delivery_taps.append(tap)
+
+    # -- queue state --------------------------------------------------------
+
+    def backlog_bytes(self, now: Optional[float] = None) -> float:
+        """Bytes currently queued (including the packet in serialization)."""
+        t = self.scheduler.clock.now() if now is None else now
+        waiting = max(0.0, self._busy_until - t)
+        return waiting * self.rate_bps / 8.0
+
+    def serialization_delay(self, size_bytes: int) -> float:
+        return size_bytes * 8.0 / self.rate_bps
+
+    # -- transmission -------------------------------------------------------
+
+    def transmit(self, packet: Any) -> bool:
+        """Enqueue ``packet`` for transmission.
+
+        Returns ``True`` if accepted, ``False`` if dropped at the queue.
+        ``packet`` must expose ``wire_size`` (bytes on the wire).
+        """
+        if self.deliver is None:
+            raise ConfigurationError(f"link {self.name!r} has no delivery callback")
+        now = self.scheduler.clock.now()
+        self.stats.packets_in += 1
+        size = int(packet.wire_size)
+        if self.backlog_bytes(now) + size > self.buffer_bytes:
+            self.stats.packets_dropped_queue += 1
+            return False
+        start = max(now, self._busy_until)
+        finish = start + self.serialization_delay(size)
+        self._busy_until = finish
+        send_time = finish  # moment the last bit leaves the sender
+        for tap in self._taps:
+            tap(send_time, packet)
+        if self.loss_model.should_drop():
+            self.stats.packets_lost += 1
+            return True  # consumed link capacity, then vanished downstream
+        deliver_at = finish + self.prop_delay
+        self.scheduler.at(
+            deliver_at, lambda p=packet: self._deliver(p), label=f"{self.name}:deliver"
+        )
+        return True
+
+    def _deliver(self, packet: Any) -> None:
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += int(packet.wire_size)
+        now = self.scheduler.clock.now()
+        for tap in self._delivery_taps:
+            tap(now, packet)
+        assert self.deliver is not None
+        self.deliver(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link(name={self.name!r}, rate={self.rate_bps / 1e6:.1f}Mbps, "
+            f"delay={self.prop_delay * 1e3:.1f}ms)"
+        )

@@ -1,0 +1,155 @@
+"""Packet-loss models for simulated links.
+
+The paper's measurement artifacts (merged blocks, under-estimated buffering
+amounts in the Residence and Academic networks, Section 5.1.1) are caused by
+packet loss, so links support pluggable loss processes:
+
+* :class:`NoLoss` — lossless link.
+* :class:`BernoulliLoss` — i.i.d. loss with fixed probability.
+* :class:`GilbertElliottLoss` — two-state bursty loss (good/bad channel).
+* :class:`DeterministicLoss` — drops an explicit set of packet indices,
+  used by tests to provoke exact retransmission scenarios.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Set
+
+from .errors import ConfigurationError
+
+
+class LossModel:
+    """Base class: decides, per packet, whether the link drops it."""
+
+    def should_drop(self) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore initial state (used when a link is reused across runs)."""
+
+
+class NoLoss(LossModel):
+    """Never drops."""
+
+    def should_drop(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NoLoss()"
+
+
+class BernoulliLoss(LossModel):
+    """Drop each packet independently with probability ``rate``."""
+
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"loss rate must be in [0, 1), got {rate!r}")
+        self.rate = rate
+        self._rng = rng
+
+    def should_drop(self) -> bool:
+        return self._rng.random() < self.rate
+
+    def __repr__(self) -> str:
+        return f"BernoulliLoss(rate={self.rate!r})"
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state Markov loss model.
+
+    In the *good* state packets are dropped with probability ``loss_good``;
+    in the *bad* state with probability ``loss_bad``.  Transitions
+    good->bad and bad->good happen per packet with probabilities ``p_gb``
+    and ``p_bg``.
+    """
+
+    def __init__(
+        self,
+        p_gb: float,
+        p_bg: float,
+        rng: random.Random,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.5,
+    ) -> None:
+        for name, value in (
+            ("p_gb", p_gb),
+            ("p_bg", p_bg),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+        self.p_gb = p_gb
+        self.p_bg = p_bg
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self._rng = rng
+        self._bad = False
+
+    def should_drop(self) -> bool:
+        if self._bad:
+            if self._rng.random() < self.p_bg:
+                self._bad = False
+        else:
+            if self._rng.random() < self.p_gb:
+                self._bad = True
+        loss = self.loss_bad if self._bad else self.loss_good
+        return self._rng.random() < loss
+
+    def reset(self) -> None:
+        self._bad = False
+
+    @property
+    def steady_state_loss(self) -> float:
+        """Long-run average loss probability of the chain."""
+        denom = self.p_gb + self.p_bg
+        if denom == 0.0:
+            return self.loss_good
+        p_bad = self.p_gb / denom
+        return p_bad * self.loss_bad + (1.0 - p_bad) * self.loss_good
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottLoss(p_gb={self.p_gb!r}, p_bg={self.p_bg!r}, "
+            f"loss_good={self.loss_good!r}, loss_bad={self.loss_bad!r})"
+        )
+
+
+class DeterministicLoss(LossModel):
+    """Drop exactly the packets whose 0-based index is in ``drop_indices``.
+
+    Useful in tests: ``DeterministicLoss({3})`` drops the fourth packet the
+    link ever carries, regardless of timing.
+    """
+
+    def __init__(self, drop_indices: Iterable[int]) -> None:
+        self._drops: Set[int] = set(int(i) for i in drop_indices)
+        self._index = 0
+
+    def should_drop(self) -> bool:
+        drop = self._index in self._drops
+        self._index += 1
+        return drop
+
+    def reset(self) -> None:
+        self._index = 0
+
+    def __repr__(self) -> str:
+        return f"DeterministicLoss(drop_indices={sorted(self._drops)!r})"
+
+
+class PredicateLoss(LossModel):
+    """Drop packet ``i`` when ``predicate(i)`` is true (0-based index)."""
+
+    def __init__(self, predicate: Callable[[int], bool]) -> None:
+        self._predicate = predicate
+        self._index = 0
+
+    def should_drop(self) -> bool:
+        drop = bool(self._predicate(self._index))
+        self._index += 1
+        return drop
+
+    def reset(self) -> None:
+        self._index = 0

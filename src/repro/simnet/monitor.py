@@ -1,0 +1,135 @@
+"""Time-series probes.
+
+Experiments sample quantities over simulated time — cumulative download
+amount (Figures 2a, 6a, 7a, 10), advertised receive window (Figures 2b, 6a)
+and player-buffer occupancy (Table 2).  :class:`TimeSeries` stores samples;
+:class:`PeriodicProbe` drives sampling off the event scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .scheduler import EventHandle, EventScheduler
+
+
+class TimeSeries:
+    """A list of ``(time, value)`` samples with small analysis helpers."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError(
+                f"time series {self.name!r} must be appended in time order: "
+                f"{t!r} < {self.times[-1]!r}"
+            )
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def last(self) -> Tuple[float, float]:
+        if not self.times:
+            raise IndexError(f"time series {self.name!r} is empty")
+        return self.times[-1], self.values[-1]
+
+    def value_at(self, t: float) -> float:
+        """Step-function value at time ``t`` (last sample at or before ``t``)."""
+        if not self.times:
+            raise IndexError(f"time series {self.name!r} is empty")
+        if t < self.times[0]:
+            raise ValueError(f"{t!r} precedes first sample {self.times[0]!r}")
+        # binary search for rightmost index with times[i] <= t
+        lo, hi = 0, len(self.times) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.times[mid] <= t:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self.values[lo]
+
+    def window(self, t0: float, t1: float) -> "TimeSeries":
+        """Samples with ``t0 <= time <= t1``."""
+        out = TimeSeries(self.name)
+        for t, v in zip(self.times, self.values):
+            if t0 <= t <= t1:
+                out.append(t, v)
+        return out
+
+    def deltas(self) -> List[Tuple[float, float]]:
+        """Per-interval increments: ``[(t_i, v_i - v_{i-1}), ...]``."""
+        out = []
+        for i in range(1, len(self.times)):
+            out.append((self.times[i], self.values[i] - self.values[i - 1]))
+        return out
+
+    def mean(self) -> float:
+        if not self.values:
+            raise IndexError(f"time series {self.name!r} is empty")
+        return sum(self.values) / len(self.values)
+
+    def max(self) -> float:
+        return max(self.values)
+
+    def min(self) -> float:
+        return min(self.values)
+
+    def time_average(self) -> float:
+        """Step-function time average over the sampled span."""
+        if len(self.times) < 2:
+            raise ValueError(f"need >= 2 samples in {self.name!r} for time average")
+        total = 0.0
+        for i in range(1, len(self.times)):
+            total += self.values[i - 1] * (self.times[i] - self.times[i - 1])
+        span = self.times[-1] - self.times[0]
+        return total / span if span > 0 else self.values[0]
+
+
+class PeriodicProbe:
+    """Sample ``fn()`` every ``period`` seconds into a :class:`TimeSeries`."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        period: float,
+        fn: Callable[[], float],
+        name: str = "probe",
+        series: Optional[TimeSeries] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self.scheduler = scheduler
+        self.period = period
+        self.fn = fn
+        self.series = series if series is not None else TimeSeries(name)
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._sample()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        self.series.append(self.scheduler.clock.now(), float(self.fn()))
+        self._handle = self.scheduler.after(
+            self.period, self._sample, label=f"probe:{self.series.name}"
+        )

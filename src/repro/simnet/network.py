@@ -1,0 +1,87 @@
+"""The simulated network: hosts wired together by paths.
+
+Routing is host-pair based: every pair of communicating hosts shares one
+:class:`~repro.simnet.path.Path`.  This matches the paper's measurement
+setups, where a client behind one access network talks to a streaming
+server across a single bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from .errors import AddressError, ConfigurationError
+from .node import Host
+from .path import Path
+from .rng import RngRegistry
+from .scheduler import EventScheduler
+
+
+class Network:
+    """Container for hosts, paths and the shared event scheduler."""
+
+    def __init__(self, scheduler: Optional[EventScheduler] = None, seed: int = 0) -> None:
+        self.scheduler = scheduler if scheduler is not None else EventScheduler()
+        self.rng = RngRegistry(seed)
+        self._hosts: Dict[str, Host] = {}
+        self._paths: Dict[Tuple[str, str], Tuple[Path, str]] = {}
+
+    @property
+    def clock(self):
+        return self.scheduler.clock
+
+    def now(self) -> float:
+        return self.scheduler.clock.now()
+
+    # -- topology -----------------------------------------------------------
+
+    def add_host(self, ip: str, name: str = "") -> Host:
+        if ip in self._hosts:
+            raise ConfigurationError(f"host with ip {ip!r} already exists")
+        host = Host(ip, name)
+        host.network = self
+        self._hosts[ip] = host
+        return host
+
+    def host(self, ip: str) -> Host:
+        try:
+            return self._hosts[ip]
+        except KeyError:
+            raise AddressError(f"no host with ip {ip!r}") from None
+
+    def add_path(self, a: Host, b: Host, path: Path) -> Path:
+        """Install ``path`` between hosts ``a`` (endpoint a) and ``b``."""
+        if (a.ip, b.ip) in self._paths:
+            raise ConfigurationError(f"path {a.ip!r}<->{b.ip!r} already exists")
+        path.forward.connect(b.deliver_segment)
+        path.reverse.connect(a.deliver_segment)
+        self._paths[(a.ip, b.ip)] = (path, "a")
+        self._paths[(b.ip, a.ip)] = (path, "b")
+        return path
+
+    def path_between(self, src_ip: str, dst_ip: str) -> Tuple[Path, str]:
+        try:
+            return self._paths[(src_ip, dst_ip)]
+        except KeyError:
+            raise AddressError(f"no path from {src_ip!r} to {dst_ip!r}") from None
+
+    # -- forwarding ---------------------------------------------------------
+
+    def route(self, src: Host, segment: Any) -> None:
+        """Forward ``segment`` from ``src`` toward ``segment.dst_ip``."""
+        path, endpoint = self.path_between(src.ip, segment.dst_ip)
+        path.link_from(endpoint).transmit(segment)
+
+    # -- execution shortcuts --------------------------------------------------
+
+    def run_until(self, t: float, max_events: Optional[int] = None) -> int:
+        return self.scheduler.run_until(t, max_events=max_events)
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        return self.scheduler.run(max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(hosts={sorted(self._hosts)}, "
+            f"paths={len(self._paths) // 2}, now={self.now():.3f})"
+        )

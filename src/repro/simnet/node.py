@@ -1,0 +1,81 @@
+"""Simulated hosts.
+
+A :class:`Host` owns an IP address, demultiplexes delivered TCP segments to
+registered connections, and hands outbound segments to the
+:class:`~repro.simnet.network.Network` for routing.  Ephemeral ports are
+allocated sequentially from 49152 (the IANA dynamic range) so traces are
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .errors import AddressError
+
+# (local_port, remote_ip, remote_port)
+ConnKey = Tuple[int, str, int]
+SegmentHandler = Callable[[Any], None]
+
+EPHEMERAL_PORT_START = 49152
+
+
+class Host:
+    """One endpoint in the simulated network."""
+
+    def __init__(self, ip: str, name: str = "") -> None:
+        self.ip = ip
+        self.name = name or ip
+        self.network = None  # set by Network.attach
+        self._connections: Dict[ConnKey, SegmentHandler] = {}
+        self._listeners: Dict[int, SegmentHandler] = {}
+        self._next_ephemeral = EPHEMERAL_PORT_START
+
+    # -- port management ----------------------------------------------------
+
+    def allocate_port(self) -> int:
+        """Return a fresh ephemeral port."""
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def register_connection(self, key: ConnKey, handler: SegmentHandler) -> None:
+        if key in self._connections:
+            raise AddressError(f"{self.name}: connection {key!r} already registered")
+        self._connections[key] = handler
+
+    def unregister_connection(self, key: ConnKey) -> None:
+        self._connections.pop(key, None)
+
+    def listen(self, port: int, handler: SegmentHandler) -> None:
+        """Register a listener receiving segments for unknown flows on ``port``
+        (i.e. incoming SYNs)."""
+        if port in self._listeners:
+            raise AddressError(f"{self.name}: port {port} already listening")
+        self._listeners[port] = handler
+
+    def stop_listening(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    # -- segment I/O --------------------------------------------------------
+
+    def send_segment(self, segment: Any) -> None:
+        """Hand an outbound segment to the network."""
+        if self.network is None:
+            raise AddressError(f"{self.name}: host not attached to a network")
+        self.network.route(self, segment)
+
+    def deliver_segment(self, segment: Any) -> None:
+        """Called by the network when a segment arrives for this host."""
+        key: ConnKey = (segment.dst_port, segment.src_ip, segment.src_port)
+        handler = self._connections.get(key)
+        if handler is None:
+            handler = self._listeners.get(segment.dst_port)
+        if handler is None:
+            # A real stack would emit RST; for the simulation we silently
+            # drop, which is what a capture box sees for stray packets.
+            return
+        handler(segment)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host(ip={self.ip!r}, name={self.name!r})"

@@ -1,0 +1,155 @@
+"""Discrete-event scheduler.
+
+A binary-heap event queue over the :class:`~repro.simnet.clock.SimClock`.
+Events are callbacks scheduled at absolute or relative simulated times.
+Cancellation is supported through :class:`EventHandle` (lazy deletion: a
+cancelled event stays in the heap but is skipped when popped).
+
+Ties are broken by insertion order so that the simulation is fully
+deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+from .clock import SimClock
+from .errors import SchedulingError
+
+Callback = Callable[[], None]
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "seq", "callback", "label")
+
+    def __init__(self, time: float, seq: int, callback: Optional[Callback], label: str):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+
+    def cancel(self) -> None:
+        """Cancel the event.  Idempotent; a fired event cannot be cancelled."""
+        self.callback = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self.callback is None
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, label={self.label!r}, {state})"
+
+
+class EventScheduler:
+    """Deterministic discrete-event loop."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: List[EventHandle] = []
+        self._counter = itertools.count()
+        self._fired = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def at(self, time: float, callback: Callback, label: str = "") -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        now = self.clock.now()
+        if time < now:
+            raise SchedulingError(f"cannot schedule at {time!r}; now is {now!r}")
+        handle = EventHandle(time, next(self._counter), callback, label)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def after(self, delay: float, callback: Callback, label: str = "") -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r}")
+        return self.at(self.clock.now() + delay, callback, label)
+
+    # -- execution ----------------------------------------------------------
+
+    def _pop_live(self) -> Optional[EventHandle]:
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if not handle.cancelled:
+                return handle
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` when the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns ``False`` when no events remain."""
+        handle = self._pop_live()
+        if handle is None:
+            return False
+        self.clock.advance_to(handle.time)
+        callback, handle.callback = handle.callback, None
+        assert callback is not None
+        callback()
+        self._fired += 1
+        return True
+
+    def run_until(self, t: float, max_events: Optional[int] = None) -> int:
+        """Run events with time <= ``t``; returns the number fired.
+
+        The clock is advanced to exactly ``t`` at the end even if the queue
+        drains earlier, so that probes sampling "at the horizon" see a
+        consistent time.
+        """
+        fired = 0
+        while True:
+            if max_events is not None and fired >= max_events:
+                break
+            nxt = self.peek_time()
+            if nxt is None or nxt > t:
+                break
+            self.step()
+            fired += 1
+        if self.clock.now() < t:
+            self.clock.advance_to(t)
+        return fired
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue is empty (or ``max_events`` fire)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        return fired
+
+    def run_while(self, predicate: Callable[[], bool], horizon: float) -> int:
+        """Run while ``predicate()`` is true, never past ``horizon``."""
+        fired = 0
+        while predicate():
+            nxt = self.peek_time()
+            if nxt is None or nxt > horizon:
+                break
+            self.step()
+            fired += 1
+        return fired
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    @property
+    def fired(self) -> int:
+        """Total number of events fired so far."""
+        return self._fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventScheduler(now={self.clock.now():.6f}, pending={self.pending})"

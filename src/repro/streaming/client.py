@@ -1,0 +1,503 @@
+"""The video players: one class per client-side throttling behaviour.
+
+Each player reproduces the mechanism the paper infers for its application:
+
+* :class:`GreedyPlayer` — reads as fast as TCP delivers (the Flash plugin
+  in any browser, Firefox's HTML5 player, HD playback).  Whatever rate
+  limiting exists must come from the server.
+* :class:`PullPlayer` — buffers aggressively to a 4-15 MB target, then
+  drains the TCP receive buffer in fixed quanta as playback frees space.
+  With a 256 kB quantum this is Internet Explorer's HTML5 behaviour
+  (Figure 2(b): the receive window periodically empties); with multi-
+  megabyte quanta it is Chrome's and Android's (Figure 6).
+* :class:`IpadPlayer` — YouTube on iOS: byte-range requests, block size
+  proportional to the encoding rate, one TCP connection per block for
+  high-rate videos (Figure 7).
+* :class:`NetflixPlayer` — Silverlight / native Netflix: prefetches
+  fragments of several renditions during buffering (Figure 11), then
+  fetches blocks of the selected rendition over fresh connections
+  (PC, iPad) or one persistent connection with large blocks (Android).
+
+All players share playback bookkeeping: playback starts once a couple of
+seconds of media are buffered, consumes bytes at the encoding rate, and the
+player buffer level is ``downloaded - consumed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from ..simnet.node import Host
+from ..simnet.scheduler import EventHandle, EventScheduler
+from ..tcp import TcpConfig, TcpConnection
+from ..workloads.video import Video
+from .httpconn import HttpResponseStream
+from .params import (
+    GreedyClientPolicy,
+    IpadClientPolicy,
+    NetflixClientPolicy,
+    PullClientPolicy,
+)
+from .server import video_path
+
+#: Seconds of media that must be buffered before playback begins.
+PLAYBACK_START_S = 2.0
+
+
+class PlayerBase:
+    """Shared machinery: connections, playback clock, interruption."""
+
+    def __init__(
+        self,
+        host: Host,
+        scheduler: EventScheduler,
+        server_ip: str,
+        video: Video,
+        *,
+        rng: random.Random,
+        server_port: int = 80,
+        recv_buffer: int = 512 * 1024,
+        tcp_config: Optional[TcpConfig] = None,
+    ) -> None:
+        self.host = host
+        self.scheduler = scheduler
+        self.server_ip = server_ip
+        self.server_port = server_port
+        self.video = video
+        self.rng = rng
+        self.recv_buffer = recv_buffer
+        self.tcp_config = tcp_config
+
+        self.downloaded = 0            # body bytes received, all connections
+        self.playback_started_at: Optional[float] = None
+        self.playback_rate_bps = video.encoding_rate_bps
+        self.stopped = False
+        self.stop_reason: Optional[str] = None
+        self._frozen_consumed: Optional[float] = None  # set when stopped
+        self.connections: List[TcpConnection] = []
+        self.connections_opened = 0
+        self._timers: List[EventHandle] = []
+
+    # -- playback ------------------------------------------------------------
+
+    def _maybe_start_playback(self) -> None:
+        if self.playback_started_at is not None:
+            return
+        threshold = PLAYBACK_START_S * self.playback_rate_bps / 8
+        if self.downloaded >= threshold:
+            self.playback_started_at = self.scheduler.clock.now()
+
+    def consumed(self, now: Optional[float] = None) -> float:
+        """Bytes of media the player has consumed by time ``now``.
+
+        Once the session is stopped the playback clock freezes: a viewer
+        who quit at 60 s has watched 60 s, no matter how long the capture
+        keeps running.
+        """
+        if self._frozen_consumed is not None:
+            return self._frozen_consumed
+        if self.playback_started_at is None:
+            return 0.0
+        t = self.scheduler.clock.now() if now is None else now
+        elapsed = max(0.0, t - self.playback_started_at)
+        return min(float(self.downloaded),
+                   elapsed * self.playback_rate_bps / 8)
+
+    def buffer_level(self, now: Optional[float] = None) -> float:
+        """Player-buffer occupancy in bytes (downloaded, not yet played)."""
+        return self.downloaded - self.consumed(now)
+
+    def playback_position_s(self, now: Optional[float] = None) -> float:
+        """Seconds of the video watched so far."""
+        return self.consumed(now) * 8 / self.playback_rate_bps
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def stop(self, reason: str = "interrupted") -> None:
+        """Abort the session (user interruption, Section 6.2)."""
+        if self.stopped:
+            return
+        self._frozen_consumed = self.consumed()
+        self.stopped = True
+        self.stop_reason = reason
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        for conn in self.connections:
+            if not conn.fully_closed:
+                conn.abort()
+
+    @property
+    def finished(self) -> bool:
+        """All requested media received (players may stop earlier)."""
+        return self.downloaded >= self.expected_bytes
+
+    @property
+    def expected_bytes(self) -> int:
+        """Total body bytes this player intends to download."""
+        return self.video.size_bytes
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _schedule(self, delay: float, fn: Callable[[], None], label: str) -> None:
+        if self.stopped:
+            return
+        handle = self.scheduler.after(delay, fn, label=label)
+        self._timers.append(handle)
+        # prune fired/cancelled handles occasionally
+        if len(self._timers) > 64:
+            self._timers = [h for h in self._timers if not h.cancelled]
+
+    def _on_body(self, n: int) -> None:
+        self.downloaded += n
+        self._maybe_start_playback()
+
+    def _open_connection(
+        self,
+        path: str,
+        *,
+        range_header: Optional[str] = None,
+        on_data: Optional[Callable[[TcpConnection, HttpResponseStream], None]] = None,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> TcpConnection:
+        """Open a connection, send one GET, wire up response accounting.
+
+        ``on_data`` decides how greedily the socket is drained; the default
+        reads everything immediately.
+        """
+        config = self.tcp_config or TcpConfig(recv_buffer=self.recv_buffer)
+        conn = TcpConnection(
+            self.host,
+            self.scheduler,
+            self.host.allocate_port(),
+            self.server_ip,
+            self.server_port,
+            config=config,
+        )
+        stream = HttpResponseStream(
+            on_body_bytes=self._on_body,
+            on_complete=(lambda resp: on_complete()) if on_complete else None,
+        )
+        conn.http_stream = stream  # type: ignore[attr-defined]
+
+        if on_data is None:
+            conn.on_data = lambda c: stream.take(c, 1 << 62)
+        else:
+            conn.on_data = lambda c: on_data(c, stream)
+
+        def send_request(c: TcpConnection) -> None:
+            request = f"GET {path} HTTP/1.1\r\nHost: video.example\r\n"
+            if range_header:
+                request += f"Range: {range_header}\r\n"
+            request += "\r\n"
+            c.send(request.encode("ascii"))
+
+        conn.on_connected = send_request
+        self.connections.append(conn)
+        self.connections_opened += 1
+        conn.connect()
+        return conn
+
+    def send_ranged_request(self, conn: TcpConnection, path: str,
+                            range_header: str) -> None:
+        """Issue a follow-up range request on an existing connection."""
+        request = (
+            f"GET {path} HTTP/1.1\r\nHost: video.example\r\n"
+            f"Range: {range_header}\r\n\r\n"
+        )
+        conn.send(request.encode("ascii"))
+
+
+class GreedyPlayer(PlayerBase):
+    """Reads everything immediately; used for Flash, HD and Firefox/HTML5."""
+
+    def __init__(self, *args, policy: GreedyClientPolicy, rate_bps=None, **kwargs):
+        kwargs.setdefault("recv_buffer", policy.recv_buffer)
+        super().__init__(*args, **kwargs)
+        self.policy = policy
+        self._rate = rate_bps if rate_bps is not None else self.video.encoding_rate_bps
+
+    @property
+    def expected_bytes(self) -> int:
+        from ..http import CONTAINER_HEADER_LEN
+
+        return CONTAINER_HEADER_LEN + self.video.size_bytes_at(self._rate)
+
+    def start(self) -> None:
+        self._open_connection(video_path(self.video.video_id, self._rate))
+
+
+class PullPlayer(PlayerBase):
+    """Client-side throttling by scheduled receive-buffer drains."""
+
+    def __init__(self, *args, policy: PullClientPolicy, **kwargs):
+        kwargs.setdefault("recv_buffer", policy.recv_buffer)
+        super().__init__(*args, **kwargs)
+        self.policy = policy
+        self.buffer_target = policy.sample_buffer_target(self.rng)
+        self._budget = 0          # bytes the player may currently read
+        self._buffering = True    # greedy until the target fills
+        self._buffering_done_at: Optional[float] = None
+        self._conn: Optional[TcpConnection] = None
+        self._pulls = 0
+
+    def start(self) -> None:
+        self._conn = self._open_connection(
+            video_path(self.video.video_id),
+            on_data=self._on_socket_data,
+        )
+        self._schedule(self.policy.check_interval, self._check, "pull:check")
+
+    def _current_target(self, now: float) -> float:
+        """Buffer target, drifting upward to sustain the accumulation ratio."""
+        if self._buffering_done_at is None:
+            return float(self.buffer_target)
+        growth = self.policy.target_growth_bps(self.playback_rate_bps)
+        return self.buffer_target + growth * (now - self._buffering_done_at)
+
+    def _on_socket_data(self, conn: TcpConnection, stream: HttpResponseStream) -> None:
+        if self._buffering:
+            stream.take(conn, 1 << 62)
+            if self.downloaded >= self.buffer_target:
+                self._buffering = False
+                self._buffering_done_at = self.scheduler.clock.now()
+        elif self._budget > 0:
+            consumed = stream.take(conn, self._budget)
+            self._budget -= consumed
+
+    def _check(self) -> None:
+        if self.stopped or self.finished:
+            return
+        now = self.scheduler.clock.now()
+        if not self._buffering:
+            free = self._current_target(now) - self.buffer_level(now)
+            if free >= self.policy.pull_quantum and self._budget <= 0:
+                self._budget = self.policy.pull_quantum
+                self._pulls += 1
+            if self._budget > 0 and self._conn is not None:
+                stream = self._conn.http_stream  # type: ignore[attr-defined]
+                consumed = stream.take(self._conn, self._budget)
+                self._budget -= consumed
+        self._schedule(self.policy.check_interval, self._check, "pull:check")
+
+    @property
+    def expected_bytes(self) -> int:
+        from ..http import CONTAINER_HEADER_LEN
+
+        return CONTAINER_HEADER_LEN + self.video.size_bytes
+
+
+class IpadPlayer(PlayerBase):
+    """YouTube's native iPad application: ranged requests, mixed strategies."""
+
+    #: Bandwidth cap used for rendition selection on the device.
+    DEVICE_RATE_CAP_BPS = 2.8e6
+
+    def __init__(self, *args, policy: IpadClientPolicy, **kwargs):
+        kwargs.setdefault("recv_buffer", policy.recv_buffer)
+        super().__init__(*args, **kwargs)
+        self.policy = policy
+        resolution, rate = self.video.variant_at_most(self.DEVICE_RATE_CAP_BPS)
+        self.selected_rate = rate
+        self.playback_rate_bps = rate
+        self.buffer_target = int(self.rng.uniform(*policy.buffer_target_range))
+        self.multi_connection = rate >= policy.multi_connection_rate_bps
+        self._next_offset = 0
+        from ..http import CONTAINER_HEADER_LEN
+
+        self.file_size = CONTAINER_HEADER_LEN + self.video.size_bytes_at(rate)
+        self._in_flight = False
+        self._persistent_conn: Optional[TcpConnection] = None
+
+    @property
+    def expected_bytes(self) -> int:
+        return self.file_size
+
+    def start(self) -> None:
+        self._request_next_block(buffering=True)
+        self._schedule(0.25, self._check, "ipad:check")
+
+    def _block_size(self, buffering: bool) -> int:
+        if buffering:
+            # the heterogeneous request sizes of Figure 7(a): 64 kB - 8 MB
+            lo, hi = 256 * 1024, 4 * 1024 * 1024
+            span = self.rng.uniform(0.0, 1.0)
+            size = int(lo * (hi / lo) ** span)  # log-uniform
+        else:
+            size = self.policy.block_bytes(self.selected_rate)
+            if self.multi_connection:
+                # Video1-style sessions spread request sizes widely around
+                # the rate-proportional center, mixing short and long cycles
+                import math
+
+                spread = self.policy.block_spread
+                factor = math.exp(self.rng.uniform(-math.log(spread),
+                                                   math.log(spread)))
+                size = int(size * factor)
+                size = max(self.policy.min_block,
+                           min(self.policy.max_block, size))
+        return max(1, min(size, self.file_size - self._next_offset))
+
+    def _request_next_block(self, buffering: bool) -> None:
+        if self.stopped or self._next_offset >= self.file_size:
+            return
+        size = self._block_size(buffering)
+        start = self._next_offset
+        end = start + size - 1
+        self._next_offset = end + 1
+        self._in_flight = True
+        path = video_path(self.video.video_id, self.selected_rate)
+        header = f"bytes={start}-{end}"
+
+        def done(conn_holder=None) -> None:
+            self._in_flight = False
+            if conn_holder is not None:
+                # one range per connection: close it once the body is in
+                conn_holder["conn"].close()
+            # during buffering the next request follows immediately, so the
+            # buffering phase is one contiguous transfer (Figure 7(a))
+            if (not self.stopped
+                    and self.downloaded < self.buffer_target
+                    and self._next_offset < self.file_size):
+                self._request_next_block(buffering=True)
+
+        if self.multi_connection:
+            holder = {}
+            conn = self._open_connection(
+                path, range_header=header,
+                on_complete=lambda h=holder: done(h))
+            holder["conn"] = conn
+            conn.on_peer_fin = lambda c: c.close()
+        elif self._persistent_conn is None:
+            self._persistent_conn = self._open_connection(
+                path, range_header=header, on_complete=done)
+        else:
+            self.send_ranged_request(self._persistent_conn, path, header)
+
+    def _check(self) -> None:
+        if self.stopped or self._next_offset >= self.file_size:
+            return
+        if not self._in_flight:
+            now = self.scheduler.clock.now()
+            if self.downloaded < self.buffer_target:
+                self._request_next_block(buffering=True)
+            else:
+                block = self.policy.block_bytes(self.selected_rate)
+                free = (self.consumed(now) + self.buffer_target) - self.downloaded
+                if free >= block / self.policy.accumulation_ratio:
+                    self._request_next_block(buffering=False)
+        self._schedule(0.25, self._check, "ipad:check")
+
+
+class NetflixPlayer(PlayerBase):
+    """Silverlight and the native Netflix mobile applications."""
+
+    def __init__(self, *args, policy: NetflixClientPolicy, **kwargs):
+        kwargs.setdefault("recv_buffer", policy.recv_buffer)
+        super().__init__(*args, **kwargs)
+        self.policy = policy
+        ladder = sorted(self.video.all_rates)
+        self.renditions = ladder[-policy.rendition_count:]
+        self.selected_rate = self.renditions[-1]
+        self.playback_rate_bps = self.selected_rate
+        self._buffering_conns_done = 0
+        self._steady_offset = 0
+        self._steady_conn: Optional[TcpConnection] = None
+        self._steady_started = False
+        self._buffering_started_at = 0.0
+        self.bandwidth_estimate_bps: Optional[float] = None
+
+    @property
+    def expected_bytes(self) -> int:
+        buffering = sum(
+            int(self.policy.buffering_playback_s * r / 8) for r in self.renditions
+        )
+        return buffering + self.video.size_bytes_at(self.selected_rate)
+
+    @property
+    def buffering_bytes_expected(self) -> int:
+        return sum(
+            int(self.policy.buffering_playback_s * r / 8) for r in self.renditions
+        )
+
+    def start(self) -> None:
+        # one connection per rendition, fetching fragments in parallel —
+        # the multi-bitrate buffering phase of Figure 11
+        self._buffering_started_at = self.scheduler.clock.now()
+        for rate in self.renditions:
+            amount = int(self.policy.buffering_playback_s * rate / 8)
+            path = video_path(self.video.video_id, rate)
+            holder = {}
+
+            def make_done(h=holder):
+                def done() -> None:
+                    h["conn"].close()
+                    self._buffering_conns_done += 1
+                    if self._buffering_conns_done == len(self.renditions):
+                        self._begin_steady_state()
+                return done
+
+            conn = self._open_connection(
+                path,
+                range_header=f"bytes=0-{amount - 1}",
+                on_complete=make_done(),
+            )
+            holder["conn"] = conn
+            conn.on_peer_fin = lambda c: c.close()
+        self._steady_offset = int(
+            self.policy.buffering_playback_s * self.selected_rate / 8
+        )
+
+    def _begin_steady_state(self) -> None:
+        if self._steady_started or self.stopped:
+            return
+        self._steady_started = True
+        if self.policy.adaptive:
+            # adaptive rendition selection: measure the buffering-phase
+            # throughput and settle on the highest rate that fits
+            elapsed = (self.scheduler.clock.now()
+                       - self._buffering_started_at)
+            if elapsed > 0 and self.downloaded > 0:
+                self.bandwidth_estimate_bps = self.downloaded * 8 / elapsed
+                self.selected_rate = self.policy.select_rendition(
+                    self.video.all_rates, self.bandwidth_estimate_bps)
+                self.playback_rate_bps = self.selected_rate
+                self._steady_offset = int(
+                    self.policy.buffering_playback_s * self.selected_rate / 8)
+        self._fetch_steady_block()
+
+    def _fetch_steady_block(self) -> None:
+        if self.stopped:
+            return
+        total = self.video.size_bytes_at(self.selected_rate)
+        if self._steady_offset >= total:
+            return
+        block = min(self.policy.steady_block_bytes(self.selected_rate),
+                    total - self._steady_offset)
+        start = self._steady_offset
+        end = start + block - 1
+        self._steady_offset = end + 1
+        path = video_path(self.video.video_id, self.selected_rate)
+        header = f"bytes={start}-{end}"
+        # request-clocked pacing: the next fetch fires one period after this
+        # one was *issued*, which is what yields the target accumulation
+        # ratio k = G / e in the steady state
+        interval = block * 8 / (self.policy.accumulation_ratio * self.selected_rate)
+        if self.policy.new_connection_per_block or self._steady_conn is None:
+            holder = {}
+            conn = self._open_connection(
+                path, range_header=header,
+                on_complete=(lambda: holder["conn"].close())
+                if self.policy.new_connection_per_block else None,
+            )
+            holder["conn"] = conn
+            conn.on_peer_fin = lambda c: c.close()
+            if not self.policy.new_connection_per_block:
+                self._steady_conn = conn
+        else:
+            self.send_ranged_request(self._steady_conn, path, header)
+        self._schedule(interval, self._fetch_steady_block, "netflix:block")

@@ -1,0 +1,254 @@
+"""Per-(service, container, application) streaming policies.
+
+These parameters encode *who* throttles and *how* — the paper's central
+finding.  Server-side policies depend only on the container (YouTube
+servers pace Flash videos and nobody else — Section 5.3); client-side
+policies depend on the application, which is why HTML5 traffic looks
+completely different across browsers.
+
+All magnitudes come from Section 5:
+
+* Flash: servers push ~40 s of playback, then 64 kB blocks at an
+  accumulation ratio of 1.25;
+* HTML5 / Internet Explorer: 256 kB pulls, 10-15 MB buffered;
+* HTML5 / Chrome: multi-megabyte pulls (> 2.5 MB), 10-15 MB buffered,
+  OFF periods up to ~60 s;
+* HTML5 / Android: like Chrome with a 4-8 MB buffer;
+* iPad (YouTube): ranged requests over many TCP connections, block size
+  proportional to the encoding rate;
+* Netflix: multi-bitrate buffering (~50 MB on PCs, ~10 MB on iPad,
+  ~40 MB on Android) and client-driven fetches over many connections.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..workloads.video import Video
+from .apps import Application, Combo, Container, Service
+
+KB = 1024
+MB = 1024 * 1024
+
+
+# -- server side --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServerPolicy:
+    """How the server feeds one video response."""
+
+    mode: str                         # "paced" | "bulk" | "range"
+    buffering_playback_s: float = 40.0  # paced: playback seconds pushed upfront
+    block_bytes: int = 64 * KB          # paced: steady-state block size
+    accumulation_ratio: float = 1.25    # paced: target Gn / en
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("paced", "bulk", "range"):
+            raise ValueError(f"unknown server mode {self.mode!r}")
+        if self.block_bytes <= 0:
+            raise ValueError(f"block_bytes must be positive, got {self.block_bytes!r}")
+        if self.accumulation_ratio < 1.0:
+            raise ValueError(
+                f"accumulation ratio below 1 starves playback "
+                f"(got {self.accumulation_ratio!r})"
+            )
+
+
+#: YouTube paces Flash videos at the server (Figures 2-4).
+FLASH_SERVER = ServerPolicy(mode="paced")
+#: Nobody rate-limits HD-over-Flash or HTML5 at the server (Figures 5-8).
+BULK_SERVER = ServerPolicy(mode="bulk")
+#: Netflix serves whatever byte ranges the client asks for.
+RANGE_SERVER = ServerPolicy(mode="range")
+
+
+def server_policy_for(container: Container) -> ServerPolicy:
+    """Server behaviour is fixed by the container alone (Section 5.3)."""
+    if container is Container.FLASH:
+        return FLASH_SERVER
+    if container is Container.SILVERLIGHT:
+        return RANGE_SERVER
+    return BULK_SERVER
+
+
+# -- client side --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GreedyClientPolicy:
+    """Read everything as soon as it arrives (Flash plugin, Firefox HTML5)."""
+
+    recv_buffer: int = 512 * KB
+
+
+@dataclass(frozen=True)
+class PullClientPolicy:
+    """Throttle by draining the TCP receive buffer on a schedule.
+
+    The client reads ``pull_quantum`` bytes from the socket whenever the
+    player buffer has that much free space.  Until ``buffer_target`` bytes
+    have been buffered it reads greedily (the aggressive HTML5 buffering
+    phase of Figure 3(b)).
+    """
+
+    recv_buffer: int
+    pull_quantum: int
+    buffer_target_range: Tuple[int, int]
+    check_interval: float = 0.1
+    #: Target steady-state accumulation ratio k = G/e: the buffer target
+    #: drifts upward at (k-1)*e so the download rate sustainably exceeds
+    #: the encoding rate (the paper's measured medians: IE 1.04,
+    #: Chrome 1.29, Android 1.15).
+    accumulation_ratio: float = 1.05
+
+    def sample_buffer_target(self, rng: random.Random) -> int:
+        lo, hi = self.buffer_target_range
+        return int(rng.uniform(lo, hi))
+
+    def target_growth_bps(self, encoding_rate_bps: float) -> float:
+        """Buffer-target growth in bytes/second."""
+        return (self.accumulation_ratio - 1.0) * encoding_rate_bps / 8
+
+
+@dataclass(frozen=True)
+class IpadClientPolicy:
+    """YouTube on iPad: ranged requests, possibly over many connections.
+
+    The block size scales with the encoding rate (Figure 7(b)); low-rate
+    videos stream over a single connection with short cycles, high-rate
+    videos use periodic re-buffering across successive connections
+    (Figure 7(a), Video1 vs Video2).
+    """
+
+    recv_buffer: int = 1 * MB
+    block_playback_s: float = 4.0          # block ≈ 4 s of playback
+    min_block: int = 64 * KB
+    max_block: int = 8 * MB
+    buffer_target_range: Tuple[int, int] = (8 * MB, 12 * MB)
+    accumulation_ratio: float = 1.2
+    multi_connection_rate_bps: float = 1e6  # >= this rate: new conn per block
+    #: multiplicative spread of steady-state request sizes in the
+    #: multi-connection regime — the 64 kB - 8 MB heterogeneity of
+    #: Figure 7(a)'s Video1, which mixes short and long cycles
+    block_spread: float = 4.0
+
+    def block_bytes(self, rate_bps: float) -> int:
+        block = int(self.block_playback_s * rate_bps / 8)
+        return max(self.min_block, min(self.max_block, block))
+
+
+@dataclass(frozen=True)
+class NetflixClientPolicy:
+    """Silverlight / native Netflix players: client-driven ranged fetches.
+
+    During buffering the player downloads ``buffering_playback_s`` seconds
+    of the ``rendition_count`` highest renditions (Akhshabi et al. observed
+    fragments of *all* encoding rates on PCs).  In steady state it fetches
+    ``block_playback_s``-second blocks of the selected rendition, opening a
+    new TCP connection per block when ``new_connection_per_block``.
+    """
+
+    recv_buffer: int = 1 * MB
+    rendition_count: int = 5               # how many ladder rates to prefetch
+    buffering_playback_s: float = 40.0
+    block_playback_s: float = 4.0
+    accumulation_ratio: float = 1.25
+    new_connection_per_block: bool = True
+    #: Adaptive rendition selection (Akhshabi et al. [11], cited by the
+    #: paper: "the encoding rate used by Netflix depends on the end-to-end
+    #: available bandwidth"): after the buffering phase the player measures
+    #: its throughput and settles on the highest rendition that fits within
+    #: ``adaptive_headroom`` of it.  Disable for a fixed top-rate player.
+    adaptive: bool = True
+    adaptive_headroom: float = 0.9
+
+    def steady_block_bytes(self, rate_bps: float) -> int:
+        return max(256 * KB, int(self.block_playback_s * rate_bps / 8))
+
+    def select_rendition(self, rates, bandwidth_bps: float) -> float:
+        """The highest ladder rate sustainable at ``bandwidth_bps``."""
+        budget = bandwidth_bps * self.adaptive_headroom
+        fitting = [r for r in rates if r <= budget]
+        return max(fitting) if fitting else min(rates)
+
+
+ClientPolicy = object  # union of the four policy dataclasses
+
+
+#: HTML5 pull policies per application (Section 5.1).
+IE_HTML5 = PullClientPolicy(
+    recv_buffer=384 * KB,
+    pull_quantum=256 * KB,
+    buffer_target_range=(9 * MB, 13 * MB),
+    accumulation_ratio=1.05,
+)
+CHROME_HTML5 = PullClientPolicy(
+    recv_buffer=2 * MB,
+    pull_quantum=5 * MB,
+    buffer_target_range=(9 * MB, 13 * MB),
+    accumulation_ratio=1.3,
+)
+ANDROID_HTML5 = PullClientPolicy(
+    recv_buffer=2 * MB,
+    pull_quantum=3 * MB + 512 * KB,
+    buffer_target_range=(4 * MB, 7 * MB),
+    accumulation_ratio=1.2,
+)
+FIREFOX_HTML5 = GreedyClientPolicy(recv_buffer=4 * MB)
+FLASH_CLIENT = GreedyClientPolicy(recv_buffer=512 * KB)
+HD_CLIENT = GreedyClientPolicy(recv_buffer=1 * MB)
+IPAD_YOUTUBE = IpadClientPolicy()
+
+#: Netflix buffering magnitudes per application (Figure 11).
+NETFLIX_PC = NetflixClientPolicy(
+    rendition_count=5, buffering_playback_s=40.0, new_connection_per_block=True,
+)
+NETFLIX_IPAD = NetflixClientPolicy(
+    rendition_count=2, buffering_playback_s=12.0, new_connection_per_block=True,
+)
+NETFLIX_ANDROID = NetflixClientPolicy(
+    rendition_count=5,
+    buffering_playback_s=34.0,
+    block_playback_s=12.0,
+    new_connection_per_block=False,
+)
+
+
+class UnsupportedCombination(ValueError):
+    """This (service, container, application) cell does not exist."""
+
+
+def client_policy_for(service: Service, container: Container,
+                      application: Application):
+    """The client-side policy for one Table 1 cell."""
+    if service is Service.NETFLIX:
+        if container is not Container.SILVERLIGHT:
+            raise UnsupportedCombination(
+                f"Netflix only streams Silverlight, not {container}"
+            )
+        if application is Application.IOS:
+            return NETFLIX_IPAD
+        if application is Application.ANDROID:
+            return NETFLIX_ANDROID
+        return NETFLIX_PC
+
+    if container in (Container.FLASH, Container.FLASH_HD):
+        if application.is_mobile:
+            raise UnsupportedCombination(
+                f"mobile applications do not play {container}"
+            )
+        return FLASH_CLIENT if container is Container.FLASH else HD_CLIENT
+
+    if container is Container.HTML5:
+        return {
+            Application.INTERNET_EXPLORER: IE_HTML5,
+            Application.FIREFOX: FIREFOX_HTML5,
+            Application.CHROME: CHROME_HTML5,
+            Application.ANDROID: ANDROID_HTML5,
+            Application.IOS: IPAD_YOUTUBE,
+        }[application]
+
+    raise UnsupportedCombination(f"no policy for {service}/{container}/{application}")

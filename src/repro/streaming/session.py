@@ -1,0 +1,218 @@
+"""Driving one streaming session on the simulator (the Section 4.2 method).
+
+A session reproduces the paper's measurement procedure: start a capture,
+start the application, stream for 180 seconds (or to completion), stop
+both.  The result carries the packet records, the ground-truth video, and
+player/server statistics — everything the analysis pipeline and the
+experiments need.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..pcap import PacketRecord, TraceCapture
+from ..simnet import (
+    Network,
+    NetworkProfile,
+    PeriodicProbe,
+    TimeSeries,
+    build_client_server,
+)
+from ..simnet.rng import derive_seed
+from ..tcp import TcpConfig
+from ..workloads.video import Video
+from .apps import Application, Container, Service, container_for_video
+from .client import (
+    GreedyPlayer,
+    IpadPlayer,
+    NetflixPlayer,
+    PlayerBase,
+    PullPlayer,
+)
+from .params import (
+    GreedyClientPolicy,
+    IpadClientPolicy,
+    NetflixClientPolicy,
+    PullClientPolicy,
+    client_policy_for,
+    server_policy_for,
+)
+from .server import VideoServer
+
+#: The capture length used throughout the paper's measurements.
+CAPTURE_DURATION_S = 180.0
+
+
+@dataclass
+class SessionConfig:
+    """Everything defining one measured streaming session."""
+
+    profile: NetworkProfile
+    service: Service
+    application: Application
+    container: Optional[Container] = None   # derived from the video if None
+    capture_duration: float = CAPTURE_DURATION_S
+    seed: int = 0
+    watch_fraction: float = 1.0             # beta_n; < 1 interrupts playback
+    probe_period: Optional[float] = None    # sample player buffer if set
+    server_reset_cwnd_after_idle: bool = False
+    mss: int = 1460
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one streaming session."""
+
+    video: Video
+    config: SessionConfig
+    container: Container
+    records: List[PacketRecord]
+    downloaded: int
+    connections_opened: int
+    playback_position_s: float
+    interrupted: bool
+    player_finished: bool
+    capture: TraceCapture
+    buffer_series: Optional[TimeSeries] = None
+    rwnd_series: Optional[TimeSeries] = None
+    server_requests: int = 0
+    playback_rate_bps: float = 0.0
+    duration_simulated: float = 0.0
+
+    @property
+    def client_ip(self) -> str:
+        from ..simnet import CLIENT_IP
+
+        return CLIENT_IP
+
+    @property
+    def server_ip(self) -> str:
+        from ..simnet import SERVER_IP
+
+        return SERVER_IP
+
+    @property
+    def unused_bytes(self) -> float:
+        """Downloaded but never played — the Section 6.2 waste metric."""
+        consumed = self.playback_position_s * self.playback_rate_bps / 8
+        return max(0.0, self.downloaded - consumed)
+
+
+def _make_player(
+    net: Network,
+    client_host,
+    server_ip: str,
+    video: Video,
+    service: Service,
+    container: Container,
+    application: Application,
+    rng: random.Random,
+    tcp_config: TcpConfig,
+) -> PlayerBase:
+    policy = client_policy_for(service, container, application)
+    kwargs = dict(rng=rng, tcp_config=tcp_config)
+    if isinstance(policy, GreedyClientPolicy):
+        rate = video.encoding_rate_bps
+        player = GreedyPlayer(client_host, net.scheduler, server_ip, video,
+                              policy=policy, rate_bps=rate, **kwargs)
+    elif isinstance(policy, PullClientPolicy):
+        player = PullPlayer(client_host, net.scheduler, server_ip, video,
+                            policy=policy, **kwargs)
+    elif isinstance(policy, IpadClientPolicy):
+        player = IpadPlayer(client_host, net.scheduler, server_ip, video,
+                            policy=policy, **kwargs)
+    elif isinstance(policy, NetflixClientPolicy):
+        player = NetflixPlayer(client_host, net.scheduler, server_ip, video,
+                               policy=policy, **kwargs)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unhandled policy {policy!r}")
+    return player
+
+
+def run_session(video: Video, config: SessionConfig) -> SessionResult:
+    """Stream ``video`` once under ``config`` and capture the traffic."""
+    container = config.container or container_for_video(video, config.service)
+    session_seed = derive_seed(config.seed, f"session:{video.video_id}")
+    net, client_host, server_host, path = build_client_server(
+        config.profile, seed=session_seed
+    )
+    rng = net.rng.stream("player")
+
+    capture = TraceCapture(name=f"{video.video_id}@{config.profile.name}")
+    capture.attach(path)
+
+    server_tcp = TcpConfig(
+        mss=config.mss,
+        recv_buffer=256 * 1024,
+        reset_cwnd_after_idle=config.server_reset_cwnd_after_idle,
+    )
+    server = VideoServer(
+        server_host,
+        net.scheduler,
+        {video.video_id: video},
+        tcp_config=server_tcp,
+        container_override=container,
+    )
+
+    policy = client_policy_for(config.service, container, config.application)
+    client_tcp = TcpConfig(mss=config.mss, recv_buffer=policy.recv_buffer)
+    player = _make_player(net, client_host, server_host.ip, video,
+                          config.service, container, config.application,
+                          rng, client_tcp)
+
+    buffer_series: Optional[TimeSeries] = None
+    if config.probe_period:
+        probe = PeriodicProbe(
+            net.scheduler, config.probe_period,
+            lambda: player.buffer_level(), name="player-buffer",
+        )
+        probe.start()
+        buffer_series = probe.series
+
+    # user interruption: stop once beta * L seconds have been *watched*
+    if config.watch_fraction < 1.0:
+        watch_limit = config.watch_fraction * video.duration
+
+        def interruption_check() -> None:
+            if player.stopped:
+                return
+            if player.playback_position_s() >= watch_limit:
+                player.stop("lack-of-interest")
+                return
+            net.scheduler.after(0.25, interruption_check, label="interrupt")
+
+        net.scheduler.after(0.25, interruption_check, label="interrupt")
+
+    player.start()
+    net.run_until(config.capture_duration)
+    capture.stop()
+
+    return SessionResult(
+        video=video,
+        config=config,
+        container=container,
+        records=capture.records,
+        downloaded=player.downloaded,
+        connections_opened=player.connections_opened,
+        playback_position_s=player.playback_position_s(),
+        interrupted=player.stopped,
+        player_finished=player.finished,
+        capture=capture,
+        buffer_series=buffer_series,
+        server_requests=server.requests_served,
+        playback_rate_bps=player.playback_rate_bps,
+        duration_simulated=net.now(),
+    )
+
+
+def run_sessions(videos, config: SessionConfig) -> List[SessionResult]:
+    """Stream each video in sequence (fresh network per session), as the
+    paper's serial measurement procedure did."""
+    results = []
+    for i, video in enumerate(videos):
+        cfg = SessionConfig(**{**vars(config), "seed": derive_seed(config.seed, str(i))})
+        results.append(run_session(video, cfg))
+    return results

@@ -1,0 +1,111 @@
+"""NewReno congestion control (RFC 5681 / RFC 6582), byte-based.
+
+The congestion controller is the piece the paper's Figure 9 interrogates:
+after an application-layer OFF period, does the sender re-probe the path
+(congestion window reset per RFC 5681 §4.1) or blast the whole next block
+back-to-back?  The paper observes the latter for every streaming service,
+so ``reset_after_idle`` defaults to ``False`` here; the ablation benchmark
+flips it.
+"""
+
+from __future__ import annotations
+
+from .constants import DEFAULT_INIT_CWND_SEGMENTS
+
+
+class NewRenoCongestion:
+    """Slow start, congestion avoidance, fast retransmit/recovery."""
+
+    def __init__(
+        self,
+        mss: int,
+        init_cwnd_segments: int = DEFAULT_INIT_CWND_SEGMENTS,
+        reset_after_idle: bool = False,
+    ) -> None:
+        if mss <= 0:
+            raise ValueError(f"mss must be positive, got {mss!r}")
+        self.mss = mss
+        self.init_cwnd = init_cwnd_segments * mss
+        self.cwnd = self.init_cwnd
+        self.ssthresh = float("inf")
+        self.reset_after_idle = reset_after_idle
+        self.in_recovery = False
+        self.recover = 0          # highest seq outstanding when loss detected
+        # counters for analysis / tests
+        self.fast_retransmits = 0
+        self.timeouts = 0
+        self.idle_resets = 0
+
+    # -- state queries ------------------------------------------------------
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    # -- events -------------------------------------------------------------
+
+    def on_ack(self, newly_acked: int, snd_una: int,
+               cwnd_limited: bool = True) -> None:
+        """Cumulative ACK advanced by ``newly_acked`` bytes to ``snd_una``.
+
+        ``cwnd_limited`` implements RFC 2861-style congestion window
+        validation: an application-limited sender (a streaming server
+        pacing small blocks) was not probing the path, so its window must
+        not keep inflating on those ACKs.
+        """
+        if newly_acked <= 0:
+            return
+        if self.in_recovery:
+            if snd_una > self.recover:
+                # full ACK: leave fast recovery (RFC 6582)
+                self.cwnd = self.ssthresh
+                self.in_recovery = False
+            else:
+                # partial ACK: deflate by amount acked, keep recovering
+                self.cwnd = max(self.mss, self.cwnd - newly_acked + self.mss)
+            return
+        if not cwnd_limited:
+            return
+        if self.in_slow_start:
+            # appropriate byte counting, L=1
+            self.cwnd += min(newly_acked, self.mss)
+        else:
+            self.cwnd += max(1, self.mss * self.mss // self.cwnd)
+
+    def on_dupacks(self, flight_size: int, snd_nxt: int) -> bool:
+        """Third duplicate ACK.  Returns True if fast retransmit should fire."""
+        if self.in_recovery:
+            return False
+        self.ssthresh = max(flight_size // 2, 2 * self.mss)
+        self.cwnd = self.ssthresh + 3 * self.mss
+        self.in_recovery = True
+        self.recover = snd_nxt
+        self.fast_retransmits += 1
+        return True
+
+    def on_extra_dupack(self) -> None:
+        """Each additional duplicate ACK while in recovery inflates cwnd."""
+        if self.in_recovery:
+            self.cwnd += self.mss
+
+    def on_timeout(self, flight_size: int) -> None:
+        """Retransmission timeout: collapse to one segment (RFC 5681 §3.1)."""
+        self.ssthresh = max(flight_size // 2, 2 * self.mss)
+        self.cwnd = self.mss
+        self.in_recovery = False
+        self.timeouts += 1
+
+    def on_idle(self, idle_time: float, rto: float) -> None:
+        """Connection was idle; optionally reset cwnd (RFC 5681 §4.1)."""
+        if self.reset_after_idle and idle_time >= rto:
+            self.cwnd = min(self.cwnd, self.init_cwnd)
+            self.ssthresh = max(self.ssthresh, self.cwnd)
+            self.idle_resets += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        phase = (
+            "recovery"
+            if self.in_recovery
+            else ("slow-start" if self.in_slow_start else "avoidance")
+        )
+        return f"NewRenoCongestion(cwnd={self.cwnd}, ssthresh={self.ssthresh}, {phase})"

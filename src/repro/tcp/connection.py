@@ -1,0 +1,837 @@
+"""The TCP endpoint state machine.
+
+Implements connection establishment (three-way handshake), reliable data
+transfer with NewReno congestion control and receive-window flow control,
+delayed ACKs, fast retransmit/recovery, RTO retransmission, zero-window
+probing, and orderly FIN teardown — enough fidelity that the paper's
+trace-level observations (receive-window throttling, block bursts without
+an ACK clock, loss-induced block merging) emerge from the mechanism rather
+than being scripted.
+
+Sequence numbers are unwrapped integers internally; the pcap layer wraps
+them to 32 bits.  Data is kept in a :class:`~repro.tcp.streambuf.
+StreamBuffer`, so multi-megabyte video bodies are carried as *virtual*
+bytes while HTTP headers remain real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..simnet.node import Host
+from ..simnet.scheduler import EventHandle, EventScheduler
+from .congestion import NewRenoCongestion
+from .constants import (
+    ACK,
+    DEFAULT_DELAYED_ACK,
+    DEFAULT_DUPACK_THRESHOLD,
+    DEFAULT_INIT_CWND_SEGMENTS,
+    DEFAULT_MAX_RTO,
+    DEFAULT_MIN_RTO,
+    DEFAULT_MSS,
+    DEFAULT_RECV_BUFFER,
+    DEFAULT_TIME_WAIT,
+    FIN,
+    PSH,
+    RST,
+    SYN,
+)
+from .recvbuf import ReceiveBuffer
+from .rtt import RttEstimator
+from .segment import TcpSegment
+from .streambuf import StreamBuffer
+
+# Connection states.
+CLOSED = "CLOSED"
+SYN_SENT = "SYN_SENT"
+SYN_RCVD = "SYN_RCVD"
+ESTABLISHED = "ESTABLISHED"
+FIN_WAIT_1 = "FIN_WAIT_1"
+FIN_WAIT_2 = "FIN_WAIT_2"
+CLOSE_WAIT = "CLOSE_WAIT"
+CLOSING = "CLOSING"
+LAST_ACK = "LAST_ACK"
+TIME_WAIT = "TIME_WAIT"
+
+
+@dataclass
+class TcpConfig:
+    """Tunable knobs of one endpoint."""
+
+    mss: int = DEFAULT_MSS
+    recv_buffer: int = DEFAULT_RECV_BUFFER
+    init_cwnd_segments: int = DEFAULT_INIT_CWND_SEGMENTS
+    min_rto: float = DEFAULT_MIN_RTO
+    max_rto: float = DEFAULT_MAX_RTO
+    delayed_ack: float = DEFAULT_DELAYED_ACK
+    dupack_threshold: int = DEFAULT_DUPACK_THRESHOLD
+    reset_cwnd_after_idle: bool = False
+    time_wait: float = DEFAULT_TIME_WAIT
+    iss: int = 0
+    #: Record (time, cwnd) samples on every segment sent — cheap congestion
+    #: window instrumentation for analysis and teaching examples.
+    trace_cwnd: bool = False
+
+
+class TcpStats:
+    """Per-connection counters."""
+
+    __slots__ = (
+        "segments_sent",
+        "segments_received",
+        "bytes_sent",
+        "bytes_received",
+        "retransmitted_segments",
+        "retransmitted_bytes",
+        "acks_sent",
+        "dupacks_received",
+        "window_probes",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @property
+    def retransmission_rate(self) -> float:
+        """Fraction of data bytes sent that were retransmissions."""
+        if self.bytes_sent == 0:
+            return 0.0
+        return self.retransmitted_bytes / self.bytes_sent
+
+
+class TcpConnection:
+    """One end of a TCP connection running on the simulator."""
+
+    def __init__(
+        self,
+        host: Host,
+        scheduler: EventScheduler,
+        local_port: int,
+        remote_ip: str,
+        remote_port: int,
+        config: Optional[TcpConfig] = None,
+        name: str = "",
+    ) -> None:
+        self.host = host
+        self.scheduler = scheduler
+        self.local_ip = host.ip
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.config = config if config is not None else TcpConfig()
+        self.name = name or f"{self.local_ip}:{local_port}"
+
+        self.state = CLOSED
+        self.stats = TcpStats()
+
+        # send side
+        self.iss = self.config.iss
+        self.stream = StreamBuffer()
+        self.snd_una_off = 0          # lowest unacknowledged data offset
+        self.snd_nxt_off = 0          # next data offset to send
+        self._high_water_off = 0      # highest offset ever transmitted
+        self.snd_wnd = self.config.mss  # peer window until first real ACK
+        self.cc = NewRenoCongestion(
+            self.config.mss,
+            self.config.init_cwnd_segments,
+            self.config.reset_cwnd_after_idle,
+        )
+        self.rtt = RttEstimator(self.config.min_rto, self.config.max_rto)
+        self._fin_pending = False
+        self._fin_sent = False
+        self._fin_acked = False
+        self._fin_off: Optional[int] = None
+        self._syn_acked = False
+        self._dupacks = 0
+        self._last_ack_seen = -1
+        self._last_wnd_seen = -1
+        self._rtt_probe: Optional[tuple] = None  # (ack_off_needed, sent_time)
+        self._last_activity = scheduler.clock.now()
+
+        # receive side
+        self.irs: Optional[int] = None
+        self.recvbuf = ReceiveBuffer(self.config.recv_buffer)
+        self._peer_fin_off: Optional[int] = None
+        self._peer_fin_processed = False
+        self._adv_window_last = self.recvbuf.window
+        self._segs_since_ack = 0
+
+        # timers
+        self._rexmit_timer: Optional[EventHandle] = None
+        self._delack_timer: Optional[EventHandle] = None
+        self._persist_timer: Optional[EventHandle] = None
+        self._persist_backoff = 1.0
+        self._timewait_timer: Optional[EventHandle] = None
+
+        # optional congestion-window trace
+        self.cwnd_series = None
+        if self.config.trace_cwnd:
+            from ..simnet.monitor import TimeSeries
+
+            self.cwnd_series = TimeSeries(f"{self.name}:cwnd")
+
+        # application callbacks
+        self.on_connected: Optional[Callable[["TcpConnection"], None]] = None
+        self.on_data: Optional[Callable[["TcpConnection"], None]] = None
+        self.on_peer_fin: Optional[Callable[["TcpConnection"], None]] = None
+        self.on_closed: Optional[Callable[["TcpConnection", str], None]] = None
+
+        self._registered = False
+
+    # ------------------------------------------------------------------ API
+
+    def connect(self) -> None:
+        """Active open: send SYN."""
+        if self.state != CLOSED:
+            raise RuntimeError(f"{self.name}: connect() in state {self.state}")
+        self._register()
+        self.state = SYN_SENT
+        self._send_control(SYN, seq=self.iss)
+        self._rtt_probe = ("syn", self.scheduler.clock.now())
+        self._restart_rexmit_timer()
+
+    def send(self, data: bytes) -> None:
+        """Queue real application bytes for transmission."""
+        self.stream.append(data)
+        self._try_send()
+
+    def send_virtual(self, n: int) -> None:
+        """Queue ``n`` virtual (content-free) bytes for transmission."""
+        self.stream.append_virtual(n)
+        self._try_send()
+
+    @property
+    def available(self) -> int:
+        """Bytes ready for the application to read."""
+        return self.recvbuf.unread
+
+    def recv(self, max_bytes: int) -> bytes:
+        """Read up to ``max_bytes`` from the in-order receive queue."""
+        data = self.recvbuf.read(max_bytes)
+        if data:
+            self._after_app_read()
+        return data
+
+    def recv_discard(self, max_bytes: int) -> int:
+        """Consume up to ``max_bytes`` without materializing them."""
+        n = self.recvbuf.read_discard(max_bytes)
+        if n:
+            self._after_app_read()
+        return n
+
+    def close(self) -> None:
+        """Half-close: no more sends after queued data drains."""
+        if self.state in (CLOSED, TIME_WAIT, LAST_ACK, FIN_WAIT_1, FIN_WAIT_2, CLOSING):
+            return
+        self._fin_pending = True
+        if self.state == ESTABLISHED or self.state == SYN_RCVD:
+            self.state = FIN_WAIT_1
+        elif self.state == CLOSE_WAIT:
+            self.state = LAST_ACK
+        elif self.state == SYN_SENT:
+            self._teardown("closed-before-established")
+            return
+        self._try_send()
+
+    def abort(self) -> None:
+        """Send RST and tear the connection down immediately."""
+        if self.state != CLOSED:
+            self._send_control(RST | ACK, seq=self._snd_nxt_seq())
+        self._teardown("reset-by-local")
+
+    # -------------------------------------------------------- derived state
+
+    @property
+    def established(self) -> bool:
+        return self.state == ESTABLISHED
+
+    @property
+    def fully_closed(self) -> bool:
+        return self.state == CLOSED
+
+    @property
+    def send_drained(self) -> bool:
+        """All queued data (and FIN if pending) acknowledged."""
+        data_done = self.snd_una_off >= self.stream.length
+        fin_done = (not self._fin_pending) or self._fin_acked
+        return data_done and fin_done
+
+    @property
+    def unacked_bytes(self) -> int:
+        return self.snd_nxt_off - self.snd_una_off
+
+    @property
+    def unsent_bytes(self) -> int:
+        return self.stream.length - self.snd_nxt_off
+
+    @property
+    def bytes_delivered(self) -> int:
+        """In-order bytes ever made readable to the application."""
+        return self.recvbuf.total_delivered
+
+    def effective_window(self) -> int:
+        """min(cwnd, peer window) minus bytes in flight."""
+        wnd = min(self.cc.cwnd, self.snd_wnd)
+        return max(0, int(wnd) - self.unacked_bytes)
+
+    # --------------------------------------------------------- registration
+
+    def _register(self) -> None:
+        if not self._registered:
+            self.host.register_connection(
+                (self.local_port, self.remote_ip, self.remote_port),
+                self.on_segment,
+            )
+            self._registered = True
+
+    def _unregister(self) -> None:
+        if self._registered:
+            self.host.unregister_connection(
+                (self.local_port, self.remote_ip, self.remote_port)
+            )
+            self._registered = False
+
+    # --------------------------------------------------------- seq mapping
+
+    def _seq_for_data(self, off: int) -> int:
+        return self.iss + 1 + off
+
+    def _snd_nxt_seq(self) -> int:
+        seq = self._seq_for_data(self.snd_nxt_off)
+        if self._fin_sent:
+            seq += 1
+        return seq
+
+    def _ack_no(self) -> int:
+        """The cumulative ACK we advertise to the peer."""
+        if self.irs is None:
+            return 0
+        ack = self.irs + 1 + self.recvbuf.rcv_nxt
+        if self._peer_fin_processed:
+            ack += 1
+        return ack
+
+    # ------------------------------------------------------------- sending
+
+    def _build_segment(
+        self,
+        flags: int,
+        seq: int,
+        payload_len: int = 0,
+        payload: Optional[bytes] = None,
+        retransmission: bool = False,
+    ) -> TcpSegment:
+        window = self.recvbuf.window
+        seg = TcpSegment(
+            self.local_ip,
+            self.local_port,
+            self.remote_ip,
+            self.remote_port,
+            seq=seq,
+            ack=self._ack_no(),
+            flags=flags,
+            window=window,
+            payload_len=payload_len,
+            payload=payload,
+            sent_at=self.scheduler.clock.now(),
+            retransmission=retransmission,
+        )
+        self._adv_window_last = window
+        return seg
+
+    def _emit(self, seg: TcpSegment) -> None:
+        self.stats.segments_sent += 1
+        if seg.payload_len:
+            self.stats.bytes_sent += seg.payload_len
+            if seg.retransmission:
+                self.stats.retransmitted_segments += 1
+                self.stats.retransmitted_bytes += seg.payload_len
+        if seg.is_pure_ack:
+            self.stats.acks_sent += 1
+        self._last_activity = self.scheduler.clock.now()
+        if self.cwnd_series is not None and (
+            not self.cwnd_series.values
+            or self.cwnd_series.values[-1] != self.cc.cwnd
+        ):
+            self.cwnd_series.append(self._last_activity, float(self.cc.cwnd))
+        self.host.send_segment(seg)
+
+    def _send_control(self, flags: int, seq: int) -> None:
+        self._emit(self._build_segment(flags, seq))
+
+    def _maybe_idle_restart(self) -> None:
+        idle = self.scheduler.clock.now() - self._last_activity
+        if idle > 0:
+            self.cc.on_idle(idle, self.rtt.rto)
+
+    def _try_send(self) -> None:
+        """Transmit as much queued data as windows permit; handle FIN."""
+        if self.state not in (ESTABLISHED, FIN_WAIT_1, CLOSE_WAIT, LAST_ACK, CLOSING):
+            return
+        if not self._syn_acked:
+            return
+        self._maybe_idle_restart()
+        sent_any = False
+        while True:
+            unsent = self.stream.length - self.snd_nxt_off
+            if unsent <= 0:
+                break
+            window = self.effective_window()
+            take = min(self.config.mss, unsent, window)
+            # sender-side silly-window avoidance: don't send a runt unless
+            # it is the final piece of the queued stream
+            if take <= 0 or (take < self.config.mss and take < unsent):
+                if self.unacked_bytes == 0 and self.snd_wnd < self.config.mss:
+                    # receiver-limited with nothing in flight: only a window
+                    # probe can restart the transfer
+                    self._start_persist()
+                break
+            off = self.snd_nxt_off
+            payload = self.stream.read_range(off, off + take)
+            flags = ACK | (PSH if take == unsent else 0)
+            # after a timeout snd_nxt rolls back (go-back-N), so offsets
+            # below the high-water mark are retransmissions
+            is_retx = off < self._high_water_off
+            seg = self._build_segment(
+                flags,
+                self._seq_for_data(off),
+                payload_len=take,
+                payload=payload,
+                retransmission=is_retx,
+            )
+            self.snd_nxt_off += take
+            if self.snd_nxt_off > self._high_water_off:
+                self._high_water_off = self.snd_nxt_off
+            if self._rtt_probe is None and not is_retx:
+                self._rtt_probe = (self.snd_nxt_off, self.scheduler.clock.now())
+            self._emit(seg)
+            sent_any = True
+        # FIN: everything sent, nothing more queued
+        if (
+            self._fin_pending
+            and not self._fin_sent
+            and self.snd_nxt_off >= self.stream.length
+        ):
+            self._fin_off = self.stream.length
+            self._fin_sent = True
+            self._send_control(FIN | ACK, seq=self._seq_for_data(self._fin_off))
+            sent_any = True
+        if sent_any:
+            self._cancel_delack()  # data segments carry the ACK
+            if self._rexmit_timer is None:
+                self._restart_rexmit_timer()
+
+    # ---------------------------------------------------------- retransmit
+
+    def _restart_rexmit_timer(self) -> None:
+        self._cancel_rexmit_timer()
+        self._rexmit_timer = self.scheduler.after(
+            self.rtt.rto, self._on_rexmit_timeout, label=f"{self.name}:rto"
+        )
+
+    def _cancel_rexmit_timer(self) -> None:
+        if self._rexmit_timer is not None:
+            self._rexmit_timer.cancel()
+            self._rexmit_timer = None
+
+    def _outstanding(self) -> bool:
+        if self.state in (SYN_SENT, SYN_RCVD) and not self._syn_acked:
+            return True
+        if self.unacked_bytes > 0:
+            return True
+        if self._fin_sent and not self._fin_acked:
+            return True
+        return False
+
+    def _on_rexmit_timeout(self) -> None:
+        self._rexmit_timer = None
+        if not self._outstanding():
+            return
+        self.rtt.backoff()
+        self._rtt_probe = None
+        if self.state == SYN_SENT:
+            self._send_control(SYN, seq=self.iss)
+        elif self.state == SYN_RCVD and not self._syn_acked:
+            self._send_control(SYN | ACK, seq=self.iss)
+        elif self.unacked_bytes > 0:
+            self.cc.on_timeout(self.unacked_bytes)
+            self._dupacks = 0
+            self._rtt_probe = None
+            # go-back-N: without SACK the sender cannot know which of the
+            # outstanding segments were lost, so it restarts from snd_una
+            # in slow start (classic Reno timeout behaviour)
+            self.snd_nxt_off = self.snd_una_off
+            self._try_send()
+        elif self._fin_sent and not self._fin_acked:
+            assert self._fin_off is not None
+            self._send_control(FIN | ACK, seq=self._seq_for_data(self._fin_off))
+        self._restart_rexmit_timer()
+
+    def _retransmit_one(self, off: int) -> None:
+        """Retransmit one MSS of data starting at stream offset ``off``."""
+        end = min(off + self.config.mss, max(self.snd_nxt_off, off))
+        if end <= off:
+            return
+        payload = self.stream.read_range(off, end)
+        flags = ACK | (PSH if end == self.stream.length else 0)
+        seg = self._build_segment(
+            flags,
+            self._seq_for_data(off),
+            payload_len=end - off,
+            payload=payload,
+            retransmission=True,
+        )
+        self._rtt_probe = None  # Karn: no sampling across retransmissions
+        self._emit(seg)
+
+    # ---------------------------------------------------------- persisting
+
+    def _start_persist(self) -> None:
+        if self._persist_timer is not None:
+            return
+        interval = min(self.rtt.rto * self._persist_backoff, 60.0)
+        self._persist_timer = self.scheduler.after(
+            interval, self._on_persist, label=f"{self.name}:persist"
+        )
+
+    def _cancel_persist(self) -> None:
+        if self._persist_timer is not None:
+            self._persist_timer.cancel()
+            self._persist_timer = None
+        self._persist_backoff = 1.0
+
+    def _on_persist(self) -> None:
+        self._persist_timer = None
+        if self.snd_wnd >= self.config.mss or self.state == CLOSED:
+            return
+        if self.unsent_bytes > 0:
+            # 1-byte window probe carrying the next stream byte
+            off = self.snd_nxt_off
+            payload = self.stream.read_range(off, off + 1)
+            seg = self._build_segment(
+                ACK,
+                self._seq_for_data(off),
+                payload_len=1,
+                payload=payload,
+                retransmission=True,
+            )
+            self.stats.window_probes += 1
+            self._emit(seg)
+        self._persist_backoff = min(self._persist_backoff * 2.0, 64.0)
+        self._start_persist()
+
+    # -------------------------------------------------------------- ACKing
+
+    def _ack_now(self) -> None:
+        self._cancel_delack()
+        self._segs_since_ack = 0
+        self._send_control(ACK, seq=self._snd_nxt_seq())
+
+    def _schedule_delack(self) -> None:
+        if self._delack_timer is None:
+            self._delack_timer = self.scheduler.after(
+                self.config.delayed_ack, self._on_delack, label=f"{self.name}:delack"
+            )
+
+    def _cancel_delack(self) -> None:
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None
+
+    def _on_delack(self) -> None:
+        self._delack_timer = None
+        self._segs_since_ack = 0
+        self._send_control(ACK, seq=self._snd_nxt_seq())
+
+    def _after_app_read(self) -> None:
+        """Send a window update when the application frees enough space."""
+        window = self.recvbuf.window
+        opened = window - self._adv_window_last
+        threshold = min(2 * self.config.mss, self.recvbuf.capacity // 2)
+        if self._adv_window_last < self.config.mss and window >= self.config.mss:
+            self._ack_now()
+        elif opened >= threshold:
+            self._ack_now()
+
+    # ----------------------------------------------------- segment arrival
+
+    def on_segment(self, seg: TcpSegment) -> None:
+        """Entry point for segments delivered by the host."""
+        self.stats.segments_received += 1
+        self._last_activity = self.scheduler.clock.now()
+        if seg.flags & RST:
+            self._teardown("reset-by-peer")
+            return
+        handler = {
+            SYN_SENT: self._segment_in_syn_sent,
+            SYN_RCVD: self._segment_in_syn_rcvd,
+        }.get(self.state)
+        if handler is not None:
+            handler(seg)
+            return
+        if self.state == CLOSED:
+            return
+        self._segment_in_open_states(seg)
+
+    # -- handshake ------------------------------------------------------------
+
+    def _segment_in_syn_sent(self, seg: TcpSegment) -> None:
+        if not (seg.is_syn and seg.is_ack):
+            return
+        if seg.ack != self.iss + 1:
+            return
+        self.irs = seg.seq
+        self.recvbuf.set_rcv_nxt(0)
+        self.snd_wnd = seg.window
+        self._syn_acked = True
+        if self._rtt_probe and self._rtt_probe[0] == "syn":
+            self.rtt.sample(self.scheduler.clock.now() - self._rtt_probe[1])
+            self._rtt_probe = None
+        self._cancel_rexmit_timer()
+        self.state = ESTABLISHED
+        self._ack_now()
+        if self.on_connected:
+            self.on_connected(self)
+        self._try_send()
+
+    def accept_syn(self, seg: TcpSegment) -> None:
+        """Passive open: process the client's SYN (called by the listener)."""
+        self._register()
+        self.irs = seg.seq
+        self.recvbuf.set_rcv_nxt(0)
+        self.snd_wnd = seg.window
+        self.state = SYN_RCVD
+        self._send_control(SYN | ACK, seq=self.iss)
+        self._rtt_probe = ("syn", self.scheduler.clock.now())
+        self._restart_rexmit_timer()
+
+    def _segment_in_syn_rcvd(self, seg: TcpSegment) -> None:
+        if seg.is_syn and not seg.is_ack:
+            # duplicate SYN: re-send SYN-ACK
+            self._send_control(SYN | ACK, seq=self.iss)
+            return
+        if seg.is_ack and seg.ack >= self.iss + 1:
+            self._syn_acked = True
+            if self._rtt_probe and self._rtt_probe[0] == "syn":
+                self.rtt.sample(self.scheduler.clock.now() - self._rtt_probe[1])
+                self._rtt_probe = None
+            self._cancel_rexmit_timer()
+            self.state = ESTABLISHED
+            self.snd_wnd = seg.window
+            if self.on_connected:
+                self.on_connected(self)
+            # the handshake ACK may carry data (or the request follows)
+            if seg.payload_len or seg.is_fin:
+                self._segment_in_open_states(seg)
+            else:
+                self._try_send()
+
+    # -- established and closing states ----------------------------------------
+
+    def _segment_in_open_states(self, seg: TcpSegment) -> None:
+        if seg.is_syn:
+            # stale duplicate SYN-ACK: just re-ACK
+            self._ack_now()
+            return
+        if seg.is_ack:
+            self._process_ack(seg)
+        if self.state == CLOSED:
+            return
+        delivered = 0
+        needs_ack = False
+        if seg.payload_len:
+            data_off = seg.seq - (self.irs + 1)
+            before_gap = self.recvbuf.has_gap
+            delivered = self.recvbuf.offer(data_off, seg.payload_len, seg.payload)
+            after_gap = self.recvbuf.has_gap
+            if after_gap or before_gap or delivered == 0:
+                # out-of-order, gap-filling, or out-of-window: ACK right away
+                self._ack_now()
+            else:
+                self._segs_since_ack += 1
+                if self._segs_since_ack >= 2:
+                    self._ack_now()
+                else:
+                    self._schedule_delack()
+        if seg.is_fin:
+            fin_off = (seg.seq + seg.payload_len) - (self.irs + 1)
+            self._peer_fin_off = fin_off
+            needs_ack = True
+        if self._peer_fin_off is not None and not self._peer_fin_processed:
+            if self.recvbuf.rcv_nxt >= self._peer_fin_off:
+                self._peer_fin_processed = True
+                self._on_peer_fin_processed()
+                needs_ack = True
+        if needs_ack:
+            self._ack_now()
+        if delivered and self.on_data:
+            self.on_data(self)
+
+    def _on_peer_fin_processed(self) -> None:
+        if self.state == ESTABLISHED:
+            self.state = CLOSE_WAIT
+        elif self.state == FIN_WAIT_1:
+            self.state = CLOSING if not self._fin_acked else TIME_WAIT
+        elif self.state == FIN_WAIT_2:
+            self.state = TIME_WAIT
+        if self.state == TIME_WAIT:
+            self._enter_time_wait()
+        if self.on_peer_fin:
+            self.on_peer_fin(self)
+
+    def _process_ack(self, seg: TcpSegment) -> None:
+        ack_off = seg.ack - (self.iss + 1)
+        fin_ack_off = None
+        if self._fin_sent:
+            assert self._fin_off is not None
+            fin_ack_off = self._fin_off + 1
+        # Window bookkeeping.  A *window update* (advertised window grew,
+        # e.g. the player just drained its buffer) must not count as a
+        # duplicate ACK; a shrinking window merely reflects out-of-order
+        # data held at the receiver and does not disqualify the dup-ACK.
+        window_grew = seg.window > self._last_wnd_seen >= 0
+        self._last_wnd_seen = seg.window
+        self.snd_wnd = seg.window
+        if self.snd_wnd >= self.config.mss:
+            # a usable window opened: stop probing and clear probe backoff
+            self._cancel_persist()
+
+        effective_ack = ack_off
+        fin_now_acked = False
+        if fin_ack_off is not None and ack_off >= fin_ack_off:
+            effective_ack = self._fin_off
+            fin_now_acked = True
+        if effective_ack > self.snd_nxt_off:
+            # window probes delivered bytes past snd_nxt
+            self.snd_nxt_off = min(effective_ack, self.stream.length)
+
+        if effective_ack > self.snd_una_off:
+            newly = effective_ack - self.snd_una_off
+            self.snd_una_off = effective_ack
+            self.stream.trim(self.snd_una_off)
+            self._dupacks = 0
+            self.rtt.reset_backoff()
+            if self._rtt_probe and self._rtt_probe[0] != "syn":
+                probe_end, t0 = self._rtt_probe
+                if effective_ack >= probe_end:
+                    self.rtt.sample(self.scheduler.clock.now() - t0)
+                    self._rtt_probe = None
+            # RFC 2861-style validation: only grow cwnd when the flight was
+            # actually limited by it (the acked data probed the path)
+            flight_before = self.unacked_bytes + newly
+            cwnd_limited = flight_before >= self.cc.cwnd - self.config.mss
+            if self.cc.in_recovery and effective_ack < self._recover_off():
+                # NewReno partial ACK: retransmit the next hole immediately
+                self.cc.on_ack(newly, self._seq_for_data(effective_ack),
+                               cwnd_limited)
+                self._retransmit_one(self.snd_una_off)
+            else:
+                self.cc.on_ack(newly, self._seq_for_data(effective_ack),
+                               cwnd_limited)
+            if self._outstanding():
+                self._restart_rexmit_timer()
+            else:
+                self._cancel_rexmit_timer()
+        elif (
+            seg.is_pure_ack
+            and ack_off == self.snd_una_off
+            and self.unacked_bytes > 0
+            and not window_grew
+        ):
+            self._dupacks += 1
+            self.stats.dupacks_received += 1
+            if self._dupacks == self.config.dupack_threshold:
+                if self.cc.on_dupacks(self.unacked_bytes, self._seq_for_data(self.snd_nxt_off)):
+                    self._retransmit_one(self.snd_una_off)
+                    self._restart_rexmit_timer()
+            elif self._dupacks > self.config.dupack_threshold:
+                self.cc.on_extra_dupack()
+
+        if fin_now_acked and not self._fin_acked:
+            self._fin_acked = True
+            self._on_local_fin_acked()
+        self._try_send()
+
+    def _recover_off(self) -> int:
+        """The NewReno ``recover`` point as a stream offset."""
+        return self.cc.recover - (self.iss + 1)
+
+    def _on_local_fin_acked(self) -> None:
+        self._cancel_rexmit_timer()
+        if self.state == FIN_WAIT_1:
+            self.state = FIN_WAIT_2
+        elif self.state == CLOSING:
+            self.state = TIME_WAIT
+            self._enter_time_wait()
+        elif self.state == LAST_ACK:
+            self._teardown("closed")
+
+    # ------------------------------------------------------------- teardown
+
+    def _enter_time_wait(self) -> None:
+        self._cancel_rexmit_timer()
+        if self._timewait_timer is None:
+            self._timewait_timer = self.scheduler.after(
+                self.config.time_wait,
+                lambda: self._teardown("closed"),
+                label=f"{self.name}:timewait",
+            )
+
+    def _teardown(self, reason: str) -> None:
+        if self.state == CLOSED and not self._registered:
+            return
+        self.state = CLOSED
+        self._cancel_rexmit_timer()
+        self._cancel_delack()
+        self._cancel_persist()
+        if self._timewait_timer is not None:
+            self._timewait_timer.cancel()
+            self._timewait_timer = None
+        self._unregister()
+        if self.on_closed:
+            self.on_closed(self, reason)
+
+
+class TcpListener:
+    """Passive endpoint accepting connections on a port."""
+
+    def __init__(
+        self,
+        host: Host,
+        scheduler: EventScheduler,
+        port: int,
+        on_accept: Callable[[TcpConnection], None],
+        config: Optional[TcpConfig] = None,
+    ) -> None:
+        self.host = host
+        self.scheduler = scheduler
+        self.port = port
+        self.on_accept = on_accept
+        self.config = config if config is not None else TcpConfig()
+        self.accepted = 0
+        host.listen(port, self._on_segment)
+
+    def _on_segment(self, seg: TcpSegment) -> None:
+        if not (seg.is_syn and not seg.is_ack):
+            return  # stray non-SYN for an unknown flow: ignore
+        conn = TcpConnection(
+            self.host,
+            self.scheduler,
+            self.port,
+            seg.src_ip,
+            seg.src_port,
+            config=TcpConfig(**vars(self.config)),
+            name=f"{self.host.name}:{self.port}<-{seg.src_ip}:{seg.src_port}",
+        )
+        self.accepted += 1
+        # let the application attach callbacks before any data can arrive
+        self.on_accept(conn)
+        conn.accept_syn(seg)
+
+    def close(self) -> None:
+        self.host.stop_listening(self.port)

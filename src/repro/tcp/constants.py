@@ -1,0 +1,42 @@
+"""TCP constants and defaults used by the from-scratch implementation."""
+
+# -- header flags -----------------------------------------------------------
+
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+
+FLAG_NAMES = {FIN: "FIN", SYN: "SYN", RST: "RST", PSH: "PSH", ACK: "ACK"}
+
+
+def flags_repr(flags: int) -> str:
+    """Human-readable flag string, e.g. ``"SYN|ACK"``."""
+    names = [name for bit, name in FLAG_NAMES.items() if flags & bit]
+    return "|".join(names) if names else "-"
+
+
+# -- protocol defaults ------------------------------------------------------
+
+DEFAULT_MSS = 1460                 # bytes of payload per segment
+DEFAULT_RECV_BUFFER = 512 * 1024   # receiver buffer (advertised window ceiling)
+DEFAULT_INIT_CWND_SEGMENTS = 3     # RFC 3390-era initial window
+DEFAULT_MIN_RTO = 1.0              # seconds; RFC 6298 recommended floor
+DEFAULT_MAX_RTO = 60.0             # seconds
+DEFAULT_DELAYED_ACK = 0.1          # seconds; delayed-ACK timer
+DEFAULT_DUPACK_THRESHOLD = 3       # fast-retransmit trigger
+DEFAULT_TIME_WAIT = 1.0            # seconds before releasing the 4-tuple
+
+# Wire sizes (Ethernet II + IPv4 + TCP, no options except on SYN).
+ETHERNET_HEADER = 14
+IPV4_HEADER = 20
+TCP_HEADER = 20
+TCP_SYN_OPTIONS = 8     # MSS(4) + NOP(1) + window scale(3)
+TCP_TS_OPTIONS = 0      # timestamps not used
+
+
+def header_overhead(flags: int) -> int:
+    """Total header bytes on the wire for a segment with ``flags``."""
+    options = TCP_SYN_OPTIONS if flags & SYN else 0
+    return ETHERNET_HEADER + IPV4_HEADER + TCP_HEADER + options

@@ -1,0 +1,73 @@
+"""RFC 6298 round-trip-time estimation and retransmission timeout."""
+
+from __future__ import annotations
+
+from .constants import DEFAULT_MAX_RTO, DEFAULT_MIN_RTO
+
+ALPHA = 1.0 / 8.0
+BETA = 1.0 / 4.0
+K = 4.0
+INITIAL_RTO = 1.0
+
+
+class RttEstimator:
+    """Tracks SRTT/RTTVAR and computes the RTO, with Karn-style backoff.
+
+    Per RFC 6298: on the first sample ``SRTT = R`` and ``RTTVAR = R/2``;
+    afterwards ``RTTVAR = (1-beta)*RTTVAR + beta*|SRTT - R|`` and
+    ``SRTT = (1-alpha)*SRTT + alpha*R``.  ``RTO = SRTT + K*RTTVAR`` clamped
+    to ``[min_rto, max_rto]``.  Timeouts double the RTO (exponential
+    backoff); a fresh sample cancels the backoff.
+    """
+
+    def __init__(
+        self,
+        min_rto: float = DEFAULT_MIN_RTO,
+        max_rto: float = DEFAULT_MAX_RTO,
+        initial_rto: float = INITIAL_RTO,
+    ) -> None:
+        if min_rto <= 0 or max_rto < min_rto:
+            raise ValueError(f"invalid RTO bounds [{min_rto!r}, {max_rto!r}]")
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: float = 0.0
+        self.rttvar: float = 0.0
+        self.has_sample = False
+        self._base_rto = max(initial_rto, min_rto)
+        self._backoff = 1.0
+
+    def sample(self, rtt: float) -> None:
+        """Incorporate a new RTT measurement (seconds)."""
+        if rtt < 0:
+            raise ValueError(f"negative RTT sample {rtt!r}")
+        if not self.has_sample:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+            self.has_sample = True
+        else:
+            self.rttvar = (1.0 - BETA) * self.rttvar + BETA * abs(self.srtt - rtt)
+            self.srtt = (1.0 - ALPHA) * self.srtt + ALPHA * rtt
+        self._base_rto = self.srtt + K * self.rttvar
+        self._backoff = 1.0
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout, with backoff and clamping."""
+        rto = self._base_rto * self._backoff
+        return min(self.max_rto, max(self.min_rto, rto))
+
+    def backoff(self) -> None:
+        """Double the RTO after a retransmission timeout."""
+        self._backoff = min(self._backoff * 2.0, self.max_rto / max(self._base_rto, 1e-9))
+
+    def reset_backoff(self) -> None:
+        """Clear exponential backoff (called when the cumulative ACK advances:
+        the peer is alive and progress resumed, so the inflated RTO no longer
+        reflects the path)."""
+        self._backoff = 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RttEstimator(srtt={self.srtt:.4f}, rttvar={self.rttvar:.4f}, "
+            f"rto={self.rto:.4f})"
+        )

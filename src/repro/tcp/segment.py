@@ -1,0 +1,129 @@
+"""TCP segments as exchanged inside the simulator.
+
+A segment carries its 4-tuple (the simulator does not wrap segments in a
+separate IP object), *unwrapped* sequence/ack numbers, flags, the advertised
+receive window in bytes, and a payload.
+
+Payloads can be **real** (``payload`` is a ``bytes`` of length
+``payload_len`` — used for HTTP headers and container metadata the analysis
+layer must parse) or **virtual** (``payload is None`` — video body bytes
+whose content is irrelevant; only the length matters).  Virtual payloads
+keep multi-megabyte streaming sessions cheap; the pcap writer zero-fills
+them so emitted captures remain well-formed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .constants import ACK, FIN, PSH, SYN, flags_repr, header_overhead
+
+
+class TcpSegment:
+    """One TCP segment in flight."""
+
+    __slots__ = (
+        "src_ip",
+        "src_port",
+        "dst_ip",
+        "dst_port",
+        "seq",
+        "ack",
+        "flags",
+        "window",
+        "payload_len",
+        "payload",
+        "sent_at",
+        "retransmission",
+    )
+
+    def __init__(
+        self,
+        src_ip: str,
+        src_port: int,
+        dst_ip: str,
+        dst_port: int,
+        *,
+        seq: int,
+        ack: int = 0,
+        flags: int = ACK,
+        window: int = 0,
+        payload_len: int = 0,
+        payload: Optional[bytes] = None,
+        sent_at: float = 0.0,
+        retransmission: bool = False,
+    ) -> None:
+        if payload is not None and len(payload) != payload_len:
+            raise ValueError(
+                f"payload length mismatch: len(payload)={len(payload)} "
+                f"payload_len={payload_len}"
+            )
+        if payload_len < 0:
+            raise ValueError(f"payload_len must be >= 0, got {payload_len}")
+        self.src_ip = src_ip
+        self.src_port = src_port
+        self.dst_ip = dst_ip
+        self.dst_port = dst_port
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.window = window
+        self.payload_len = payload_len
+        self.payload = payload
+        self.sent_at = sent_at
+        self.retransmission = retransmission
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire: Ethernet + IP + TCP headers + payload."""
+        return header_overhead(self.flags) + self.payload_len
+
+    @property
+    def seq_consumed(self) -> int:
+        """Sequence space consumed: payload plus SYN/FIN flags."""
+        n = self.payload_len
+        if self.flags & SYN:
+            n += 1
+        if self.flags & FIN:
+            n += 1
+        return n
+
+    @property
+    def end_seq(self) -> int:
+        return self.seq + self.seq_consumed
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & SYN)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & FIN)
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & ACK)
+
+    @property
+    def is_pure_ack(self) -> bool:
+        """ACK with no payload and no SYN/FIN."""
+        return self.flags == ACK and self.payload_len == 0
+
+    def flow_key(self):
+        """Directed flow identity: (src_ip, src_port, dst_ip, dst_port)."""
+        return (self.src_ip, self.src_port, self.dst_ip, self.dst_port)
+
+    def materialized_payload(self) -> bytes:
+        """The payload as real bytes, zero-filling virtual content."""
+        if self.payload is not None:
+            return self.payload
+        return bytes(self.payload_len)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TcpSegment({self.src_ip}:{self.src_port}->{self.dst_ip}:{self.dst_port} "
+            f"{flags_repr(self.flags)} seq={self.seq} ack={self.ack} "
+            f"len={self.payload_len} win={self.window})"
+        )

@@ -1,0 +1,73 @@
+"""Video popularity models.
+
+The paper's related work (Cha et al. [15], Zink et al. [26]) established
+that YouTube video popularity is heavy-tailed — a Zipf-like head with a
+truncated tail — which matters for any aggregate-traffic computation that
+samples videos per session: popular videos' parameters dominate E[e],
+E[L], E[S].  :class:`ZipfPopularity` provides the standard model; the
+arrival generator accepts it to weight its video choices.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Optional, Sequence
+
+from .catalog import Catalog
+from .video import Video
+
+
+class ZipfPopularity:
+    """Zipf(alpha) popularity over a catalog's rank order.
+
+    Rank ``i`` (0-based) carries weight ``1 / (i + 1) ** alpha``.  Ranks
+    are assigned by catalog order by default, or by a supplied permutation.
+    """
+
+    def __init__(self, n: int, alpha: float = 0.8,
+                 ranks: Optional[Sequence[int]] = None) -> None:
+        if n <= 0:
+            raise ValueError(f"need a positive catalog size, got {n}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.n = n
+        self.alpha = alpha
+        if ranks is None:
+            ranks = range(n)
+        else:
+            if sorted(ranks) != list(range(n)):
+                raise ValueError("ranks must be a permutation of 0..n-1")
+        weights = [0.0] * n
+        for index, rank in zip(range(n), ranks):
+            weights[index] = 1.0 / (rank + 1) ** alpha
+        total = sum(weights)
+        self._cumulative: List[float] = list(
+            itertools.accumulate(w / total for w in weights))
+
+    def probability(self, index: int) -> float:
+        """P(video at catalog position ``index`` is requested)."""
+        if not 0 <= index < self.n:
+            raise IndexError(f"index {index} out of range 0..{self.n - 1}")
+        prev = self._cumulative[index - 1] if index else 0.0
+        return self._cumulative[index] - prev
+
+    def sample_index(self, rng: random.Random) -> int:
+        """Draw a catalog position according to the popularity law."""
+        return bisect.bisect_left(self._cumulative, rng.random())
+
+    def sample_video(self, catalog: Catalog, rng: random.Random) -> Video:
+        return catalog[self.sample_index(rng)]
+
+    def head_share(self, head_fraction: float = 0.1) -> float:
+        """Probability mass carried by the top ``head_fraction`` of ranks.
+
+        With alpha ~ 0.8 and a 10 % head this lands near the classic
+        "top 10 % of videos serve most of the requests" observation.
+        """
+        if not 0.0 < head_fraction <= 1.0:
+            raise ValueError(f"head fraction must be in (0, 1], got "
+                             f"{head_fraction!r}")
+        cut = max(1, int(self.n * head_fraction))
+        return self._cumulative[cut - 1]

@@ -1,0 +1,75 @@
+"""Video objects: the unit of the paper's datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Encoding-rate variants offered for one video: (resolution, bits/second).
+Variant = Tuple[str, float]
+
+
+@dataclass(frozen=True)
+class Video:
+    """One streamable video.
+
+    ``encoding_rate_bps`` is the rate of the *default* rendition (what a
+    PC browser plays without manual intervention, per Section 4.1).
+    ``variants`` lists every available rendition — Netflix and the native
+    iPad application pick among them based on bandwidth and device.
+    """
+
+    video_id: str
+    duration: float              # seconds
+    encoding_rate_bps: float     # default rendition
+    resolution: str              # e.g. "360p"
+    container: str               # "flv" | "webm" | "silverlight"
+    variants: Tuple[Variant, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration!r}")
+        if self.encoding_rate_bps <= 0:
+            raise ValueError(
+                f"encoding rate must be positive, got {self.encoding_rate_bps!r}"
+            )
+        if self.container not in ("flv", "webm", "silverlight"):
+            raise ValueError(f"unknown container {self.container!r}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the default rendition: S = e * L (Section 6 notation)."""
+        return int(self.duration * self.encoding_rate_bps / 8)
+
+    def size_bytes_at(self, rate_bps: float) -> int:
+        """Size of a rendition at a specific encoding rate."""
+        return int(self.duration * rate_bps / 8)
+
+    @property
+    def all_rates(self) -> Tuple[float, ...]:
+        """Every available encoding rate, default first."""
+        rates = [self.encoding_rate_bps]
+        rates.extend(rate for _res, rate in self.variants
+                     if rate != self.encoding_rate_bps)
+        return tuple(rates)
+
+    def variant_at_most(self, max_rate_bps: float) -> Variant:
+        """The best rendition not exceeding ``max_rate_bps``.
+
+        Falls back to the lowest rendition when even that exceeds the cap
+        (a player must play *something*).
+        """
+        candidates = [("default", self.encoding_rate_bps)] + list(self.variants)
+        candidates.sort(key=lambda v: v[1])
+        best = candidates[0]
+        for variant in candidates:
+            if variant[1] <= max_rate_bps:
+                best = variant
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Video({self.video_id}, {self.duration:.0f}s, "
+            f"{self.encoding_rate_bps / 1e6:.2f}Mbps {self.resolution} "
+            f"{self.container})"
+        )

@@ -1,0 +1,112 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.simnet import Network, NetworkProfile, build_client_server
+from repro.tcp import TcpConfig, TcpConnection, TcpListener
+
+
+@dataclass
+class TransferResult:
+    """Outcome of :func:`run_bulk_transfer`."""
+
+    received: int
+    finished_at: float
+    client: TcpConnection
+    server: Optional[TcpConnection]
+    network: Network
+    chunks: List[bytes] = field(default_factory=list)
+
+
+def run_bulk_transfer(
+    profile: NetworkProfile,
+    nbytes: int,
+    *,
+    seed: int = 1,
+    client_config: Optional[TcpConfig] = None,
+    server_config: Optional[TcpConfig] = None,
+    header: bytes = b"",
+    horizon: float = 600.0,
+    keep_bytes: bool = False,
+) -> TransferResult:
+    """Run one client-server bulk transfer of ``nbytes`` over ``profile``.
+
+    The server sends ``header`` as real bytes followed by virtual payload
+    and closes.  The client reads greedily.  Returns a
+    :class:`TransferResult`.
+    """
+    net, client_host, server_host, _path = build_client_server(profile, seed=seed)
+    sched = net.scheduler
+    state: Dict[str, TcpConnection] = {}
+
+    def on_accept(conn: TcpConnection) -> None:
+        state["server"] = conn
+
+        def on_data(c: TcpConnection) -> None:
+            request = c.recv(4096)
+            if request:
+                if header:
+                    c.send(header)
+                c.send_virtual(nbytes - len(header))
+                c.close()
+
+        conn.on_data = on_data
+
+    TcpListener(server_host, sched, 80, on_accept, config=server_config)
+    client = TcpConnection(
+        client_host,
+        sched,
+        client_host.allocate_port(),
+        server_host.ip,
+        80,
+        config=client_config,
+    )
+    result = TransferResult(0, 0.0, client, None, net)
+
+    def on_data(c: TcpConnection) -> None:
+        if keep_bytes:
+            data = c.recv(1 << 22)
+            result.chunks.append(data)
+            result.received += len(data)
+        else:
+            result.received += c.recv_discard(1 << 22)
+        result.finished_at = sched.clock.now()
+
+    client.on_data = on_data
+    client.on_connected = lambda c: c.send(b"GET /video HTTP/1.1\r\n\r\n")
+    client.connect()
+    sched.run_until(horizon)
+    result.server = state.get("server")
+    return result
+
+
+@pytest.fixture
+def research():
+    from repro.simnet import RESEARCH
+
+    return RESEARCH
+
+
+@pytest.fixture
+def residence():
+    from repro.simnet import RESIDENCE
+
+    return RESIDENCE
+
+
+@pytest.fixture
+def lossless_profile():
+    """A clean, fast profile for deterministic protocol tests."""
+    return NetworkProfile(
+        name="TestNet",
+        down_bps=10e6,
+        up_bps=10e6,
+        rtt=0.02,
+        loss_down=0.0,
+        buffer_bytes=512 * 1024,
+    )

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_prints_inventory(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "Research" in out
+        assert "firefox" in out
+
+
+class TestStream:
+    def test_flash_session(self, capsys):
+        code = main([
+            "stream", "--network", "Research", "--application", "firefox",
+            "--container", "flash", "--rate-mbps", "1.0",
+            "--duration", "300", "--capture", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy         : Short" in out
+        assert "accumulation" in out
+
+    def test_html5_chrome_session(self, capsys):
+        code = main([
+            "stream", "--application", "chrome", "--container", "html5",
+            "--rate-mbps", "2.0", "--duration", "200", "--capture", "90",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out
+
+    def test_netflix_session(self, capsys):
+        code = main([
+            "stream", "--service", "netflix", "--network", "Academic",
+            "--duration", "2400", "--capture", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Netflix" in out
+        assert "connection(s)" in out
+
+    def test_interrupted_session_reports_waste(self, capsys):
+        code = main([
+            "stream", "--application", "firefox", "--container", "html5",
+            "--rate-mbps", "1.0", "--duration", "300", "--capture", "120",
+            "--watch-fraction", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "interrupted at" in out
+        assert "wasted" in out
+
+    def test_pcap_output_and_analyze_round_trip(self, capsys, tmp_path):
+        pcap = str(tmp_path / "session.pcap")
+        assert main([
+            "stream", "--container", "flash", "--rate-mbps", "0.8",
+            "--duration", "240", "--capture", "45", "--pcap", pcap,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["analyze", pcap, "--duration", "240"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy         : Short" in out
+        assert "flv-header" in out
+
+
+class TestExperimentCommand:
+    def test_model_validation_runs(self, capsys):
+        assert main(["experiment", "model_validation"]) == 0
+        out = capsys.readouterr().out
+        assert "53.3" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(KeyError):
+            main(["stream", "--network", "Atlantis"])

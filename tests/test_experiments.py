@@ -1,0 +1,145 @@
+"""Smoke tests for the experiment modules (reduced scale).
+
+Each test asserts the *shape* facts the paper reports — who wins, what
+dominates, where the boundaries fall — not absolute numbers.  The heavier
+full-matrix experiments (table1, fig3-fig6, fig10-fig12) run in the
+benchmark harness; here we exercise the cheap ones end-to-end plus the
+report rendering of everything else through tiny custom runs.
+"""
+
+import pytest
+
+from repro.experiments import (
+    SMALL,
+    Scale,
+    fig2,
+    fig8,
+    fig9,
+    model_validation,
+    pick_videos,
+    table2,
+)
+from repro.streaming import StreamingStrategy
+from repro.workloads import make_dataset
+
+KB = 1024
+MB = 1024 * 1024
+
+#: An even smaller scale for test-suite latency.
+TINY = Scale(name="tiny", sessions_per_cell=3, capture_duration=90.0,
+             catalog_scale=0.02, mc_horizon=4000.0)
+
+
+class TestPickVideos:
+    def test_constraints_respected(self):
+        catalog = make_dataset("YouFlash", seed=1, scale=0.05)
+        videos = pick_videos(catalog, 5, seed=1, min_size_bytes=5 * MB)
+        assert len(videos) == 5
+        assert all(v.size_bytes >= 5 * MB for v in videos)
+
+    def test_unsatisfiable_constraints_raise(self):
+        catalog = make_dataset("YouFlash", seed=1, scale=0.02)
+        with pytest.raises(ValueError):
+            pick_videos(catalog, 3, seed=1, min_size_bytes=10_000 * MB)
+
+    def test_deterministic(self):
+        catalog = make_dataset("YouFlash", seed=1, scale=0.05)
+        a = pick_videos(catalog, 5, seed=9)
+        b = pick_videos(catalog, 5, seed=9)
+        assert [v.video_id for v in a] == [v.video_id for v in b]
+
+
+class TestFig2:
+    def test_flash_vs_html5_window_behaviour(self):
+        result = fig2.run(TINY, seed=0)
+        # Flash: client never throttles, window stays open
+        assert result.flash.steady_window_min > 128 * KB
+        # HTML5/IE: window periodically empties
+        assert result.html5.steady_window_min < 64 * KB
+        # block sizes: 64 kB vs 256 kB
+        assert result.flash.median_block == pytest.approx(64 * KB, rel=0.1)
+        assert result.html5.median_block == pytest.approx(256 * KB, rel=0.1)
+
+    def test_report_renders(self):
+        text = fig2.run(TINY, seed=0).report()
+        assert "Flash" in text and "HTML5" in text
+
+
+class TestFig8:
+    def test_rate_uncorrelated_and_no_steady_state(self):
+        result = fig8.run(TINY, seed=0)
+        assert abs(result.rate_correlation) < 0.6
+        assert (result.long_videos_without_steady_state
+                == result.long_videos_checked)
+        # download rates are link-bound, far above the encoding rates
+        for point in result.points:
+            assert point.download_rate_bps > 2 * point.encoding_rate_bps
+        assert "no ON-OFF" in result.report()
+
+
+class TestFig9:
+    def test_burst_structure(self):
+        result = fig9.run(TINY, seed=0)
+        curves = {c.label: c for c in result.curves}
+        # Flash bursts the whole 64 kB block: no ACK clock
+        assert curves["Flash"].cdf.median == pytest.approx(64 * KB, rel=0.15)
+        # iPad opens fresh connections: slow start imposes an ACK clock
+        assert curves["iPad"].cdf.median <= result.init_window_bytes * 2
+        # every desktop curve far exceeds the initial window
+        for label in ("Flash", "Int. Explorer", "Chrome", "Android"):
+            assert curves[label].cdf.median > 3 * result.init_window_bytes
+
+    def test_idle_reset_ablation_restores_ack_clock(self):
+        result = fig9.run(TINY, seed=0)
+        without = result.flash_no_reset.cdf.median
+        with_reset = result.flash_with_idle_reset.cdf.median
+        assert with_reset < without / 4
+        assert with_reset <= 2 * result.init_window_bytes
+
+
+class TestTable2:
+    def test_orderings(self):
+        result = table2.run(TINY, seed=0)
+        by = {r.strategy: r for r in result.rows}
+        no = by[StreamingStrategy.NO_ONOFF]
+        long_ = by[StreamingStrategy.LONG_ONOFF]
+        short = by[StreamingStrategy.SHORT_ONOFF]
+        # unused bytes: Large >> Moderate >= Small
+        assert no.unused_bytes > 3 * long_.unused_bytes
+        assert long_.unused_bytes >= short.unused_bytes * 0.9
+        # buffer occupancy: Large >> Moderate > Small
+        assert no.peak_buffer_bytes > 3 * long_.peak_buffer_bytes
+        assert long_.peak_buffer_bytes > short.peak_buffer_bytes
+        # engineering complexity labels
+        assert no.engineering == "Not required"
+        assert "Application" in short.engineering
+
+    def test_report_renders(self):
+        assert "Table 2" in table2.run(TINY, seed=0).report()
+
+
+class TestModelValidation:
+    def test_moments_and_invariance(self):
+        result = model_validation.run(TINY, seed=0)
+        for row in result.moment_rows:
+            assert row.mean_error < 0.15, row.strategy
+            assert row.var_error < 0.3, row.strategy
+        means = [r.empirical_mean for r in result.moment_rows]
+        assert max(means) / min(means) < 1.2  # strategy invariance
+
+    def test_interruption_results(self):
+        result = model_validation.run(TINY, seed=0)
+        assert result.critical_duration_s == pytest.approx(53.33, rel=0.01)
+        err = (abs(result.waste_empirical_bps - result.waste_closed_bps)
+               / result.waste_closed_bps)
+        assert err < 0.25
+
+    def test_migration_smoothness(self):
+        result = model_validation.run(TINY, seed=0)
+        assert result.migration_smoothness_ratio == pytest.approx(
+            2 ** -0.5, rel=0.01)
+
+    def test_report_renders(self):
+        text = model_validation.run(TINY, seed=0).report()
+        assert "53.3" in text
+        assert "Eq (9)" in text

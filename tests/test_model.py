@@ -1,0 +1,407 @@
+"""Tests for the Section-6 analytical model."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    ConstantRate,
+    OnOffRate,
+    PopulationMoments,
+    aggregate_mean_exact,
+    aggregate_mean_factored,
+    aggregate_variance,
+    coefficient_of_variation,
+    constant_strategy,
+    critical_duration,
+    download_outlives_interruption,
+    encoding_rate_migration,
+    invariance_gap,
+    plan_for,
+    required_capacity,
+    short_onoff_strategy,
+    simulate_aggregate,
+    simulate_wasted_bandwidth,
+    strategy_migration,
+    unused_bytes,
+    unused_playback_seconds,
+    waste_sweep,
+    wasted_bandwidth_exact,
+    wasted_bandwidth_factored,
+)
+from repro.workloads import Catalog, MBPS, Video
+
+
+def uniform_catalog(n=20, rate=1 * MBPS, duration=200.0):
+    videos = [
+        Video(video_id=f"u{i}", duration=duration, encoding_rate_bps=rate,
+              resolution="360p", container="flv")
+        for i in range(n)
+    ]
+    return Catalog("uniform", videos)
+
+
+class TestMoments:
+    def test_from_sessions_exact(self):
+        m = PopulationMoments.from_sessions(
+            rates=[1e6, 2e6], durations=[100.0, 200.0],
+            download_rates=[4e6, 4e6])
+        assert m.mean_rate_bps == 1.5e6
+        assert m.mean_duration_s == 150.0
+        assert m.mean_size_bits == (1e6 * 100 + 2e6 * 200) / 2
+        assert m.mean_e_l_g == (1e6 * 100 * 4e6 + 2e6 * 200 * 4e6) / 2
+
+    def test_from_catalog(self):
+        catalog = uniform_catalog(rate=1 * MBPS, duration=100.0)
+        m = PopulationMoments.from_catalog(catalog, download_rate_bps=4e6)
+        assert m.mean_size_bits == pytest.approx(1e6 * 100, rel=0.01)
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            PopulationMoments.from_sessions([1e6], [100.0, 200.0], [4e6])
+        with pytest.raises(ValueError):
+            PopulationMoments.from_sessions([], [], [])
+
+
+class TestAggregateEquations:
+    def test_eq1_and_eq3_agree_for_independent_population(self):
+        m = PopulationMoments.from_sessions(
+            rates=[1e6] * 4, durations=[100.0] * 4, download_rates=[4e6] * 4)
+        assert aggregate_mean_exact(0.5, m) == pytest.approx(
+            aggregate_mean_factored(0.5, m.mean_rate_bps, m.mean_duration_s))
+
+    def test_eq3_scaling_in_lambda(self):
+        m = PopulationMoments.from_sessions([1e6], [100.0], [4e6])
+        assert aggregate_mean_exact(2.0, m) == 2 * aggregate_mean_exact(1.0, m)
+
+    def test_eq4_variance(self):
+        m = PopulationMoments.from_sessions([1e6], [100.0], [4e6])
+        assert aggregate_variance(0.1, m) == pytest.approx(0.1 * 1e6 * 100 * 4e6)
+
+    def test_lambda_validation(self):
+        m = PopulationMoments.from_sessions([1e6], [100.0], [4e6])
+        with pytest.raises(ValueError):
+            aggregate_mean_exact(0.0, m)
+
+    def test_cv_shrinks_with_encoding_rate(self):
+        """Section 6.1 conclusion 3: higher rates, smoother traffic.
+
+        With the path bandwidth G fixed, scaling every encoding rate by s
+        scales both E[R] and Var[R] linearly, so CV falls by 1/sqrt(s).
+        """
+        def cv(rate, peak=8e6):
+            m = PopulationMoments.from_sessions([rate], [100.0], [peak])
+            return coefficient_of_variation(
+                aggregate_mean_exact(0.5, m), aggregate_variance(0.5, m))
+        assert cv(2e6) == pytest.approx(cv(1e6) / math.sqrt(2))
+
+
+class TestRateProcesses:
+    def test_constant_rate_duration(self):
+        p = ConstantRate(size_bits=8e6, peak_bps=4e6)
+        assert p.duration == 2.0
+        assert p.rate_at(1.0) == 4e6
+        assert p.rate_at(2.5) == 0.0
+
+    def test_constant_rate_integrals(self):
+        p = ConstantRate(size_bits=8e6, peak_bps=4e6)
+        assert p.integral_rate() == 8e6
+        assert p.integral_rate_squared() == 8e6 * 4e6
+
+    def test_onoff_block_and_duration(self):
+        p = OnOffRate(size_bits=8e6, peak_bps=4e6, period_s=1.0, duty=0.25)
+        assert p.block_bits == 1e6
+        assert p.duration == pytest.approx(8.0)
+
+    def test_onoff_rate_shape(self):
+        p = OnOffRate(size_bits=8e6, peak_bps=4e6, period_s=1.0, duty=0.25)
+        assert p.rate_at(0.1) == 4e6      # ON
+        assert p.rate_at(0.5) == 0.0      # OFF
+        assert p.rate_at(1.1) == 4e6      # next cycle ON
+
+    def test_onoff_with_buffering(self):
+        p = OnOffRate(size_bits=8e6, peak_bps=4e6, period_s=1.0, duty=0.25,
+                      buffering_bits=4e6)
+        assert p.buffering_time == 1.0
+        assert p.rate_at(0.9) == 4e6      # still buffering
+        assert p.rate_at(1.5) == 0.0      # first OFF after buffering
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffRate(8e6, 4e6, period_s=1.0, duty=0.0)
+        with pytest.raises(ValueError):
+            OnOffRate(8e6, 4e6, period_s=0.0, duty=0.5)
+        with pytest.raises(ValueError):
+            OnOffRate(8e6, 4e6, period_s=1.0, duty=0.5, buffering_bits=9e6)
+        with pytest.raises(ValueError):
+            ConstantRate(0, 4e6)
+
+    def test_invariance_same_bytes_same_peak(self):
+        """The Section 6.1 invariance: arrangement of ON/OFF is irrelevant."""
+        bulk = ConstantRate(size_bits=80e6, peak_bps=10e6)
+        short = OnOffRate(80e6, 10e6, period_s=0.5, duty=0.3)
+        long_ = OnOffRate(80e6, 10e6, period_s=30.0, duty=0.3,
+                          buffering_bits=20e6)
+        assert invariance_gap(bulk, short) < 1e-12
+        assert invariance_gap(bulk, long_) < 1e-12
+
+    @given(
+        st.floats(min_value=1e6, max_value=1e9),
+        st.floats(min_value=1e6, max_value=1e8),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_invariance_property(self, size, peak, duty, period):
+        bulk = ConstantRate(size, peak)
+        onoff = OnOffRate(size, peak, period, duty)
+        assert invariance_gap(bulk, onoff) < 1e-9
+
+
+class TestMonteCarloAggregate:
+    @pytest.mark.parametrize("factory_name", ["constant", "short", "long"])
+    def test_empirical_moments_match_equations(self, factory_name):
+        catalog = uniform_catalog(rate=1 * MBPS, duration=120.0)
+        lam, peak = 0.4, 8e6
+        factory = {
+            "constant": constant_strategy,
+            "short": short_onoff_strategy(),
+            "long": short_onoff_strategy(block_bytes=5 * 1024 * 1024,
+                                         buffering_playback_s=60.0),
+        }[factory_name]
+        sample = simulate_aggregate(
+            catalog, lam, horizon=8000.0, strategy=factory,
+            peak_bps=peak, dt=0.5, seed=7,
+        )
+        m = PopulationMoments.from_catalog(catalog, download_rate_bps=peak)
+        expected_mean = aggregate_mean_exact(lam, m)
+        expected_var = aggregate_variance(lam, m)
+        assert sample.mean_bps == pytest.approx(expected_mean, rel=0.1)
+        assert sample.variance_bps2 == pytest.approx(expected_var, rel=0.2)
+
+    def test_strategies_give_same_moments_empirically(self):
+        """Eq (3)/(4) independence of strategy, now as a simulation."""
+        catalog = uniform_catalog(rate=1 * MBPS, duration=120.0)
+        results = {}
+        for name, factory in (
+            ("constant", constant_strategy),
+            ("short", short_onoff_strategy()),
+        ):
+            results[name] = simulate_aggregate(
+                catalog, 0.4, horizon=8000.0, strategy=factory,
+                peak_bps=8e6, seed=11)
+        assert results["constant"].mean_bps == pytest.approx(
+            results["short"].mean_bps, rel=0.1)
+        assert results["constant"].variance_bps2 == pytest.approx(
+            results["short"].variance_bps2, rel=0.25)
+
+
+class TestInterruption:
+    def test_papers_53_3s_example(self):
+        """B' = 40 s, k = 1.25, beta = 0.2 -> L = 53.3 s."""
+        assert critical_duration(40.0, 1.25, 0.2) == pytest.approx(53.333, rel=1e-3)
+
+    def test_condition_matches_critical_duration(self):
+        critical = critical_duration(40.0, 1.25, 0.2)
+        assert download_outlives_interruption(critical + 1, 40.0, 1.25, 0.2)
+        assert not download_outlives_interruption(critical - 1, 40.0, 1.25, 0.2)
+
+    def test_critical_duration_infinite_when_k_beta_ge_1(self):
+        assert critical_duration(40.0, 1.25, 0.9) == math.inf
+
+    def test_unused_bytes_clamps_at_video_size(self):
+        # huge download rate: everything fetched, waste = unwatched part
+        waste = unused_bytes(1e6, 100.0, buffering_bytes=1e12,
+                             download_rate_bps=1e12, watch_time_s=20.0)
+        assert waste == pytest.approx((100.0 - 20.0) * 1e6 / 8)
+
+    def test_unused_playback_seconds_kernel(self):
+        # L=100, B'=40, k=1.25, beta=0.2: min(40+25, 100) - 20 = 45
+        assert unused_playback_seconds(100.0, 40.0, 1.25, 0.2) == pytest.approx(45.0)
+
+    def test_zero_waste_for_full_watch(self):
+        assert unused_playback_seconds(100.0, 40.0, 1.25, 1.0) == 0.0
+
+    def test_wasted_bandwidth_exact_vs_factored_for_uniform_rates(self):
+        sessions = [(1e6, 100.0, 0.2), (1e6, 200.0, 0.5), (1e6, 50.0, 1.0)]
+        exact = wasted_bandwidth_exact(0.5, sessions, 40.0, 1.25)
+        factored = wasted_bandwidth_factored(
+            0.5, 1e6, [s[1] for s in sessions], [s[2] for s in sessions],
+            40.0, 1.25)
+        assert exact == pytest.approx(factored)
+
+    def test_waste_decreases_with_smaller_buffering(self):
+        sessions = [(1e6, 300.0, 0.2)] * 10
+        big = wasted_bandwidth_exact(0.5, sessions, 40.0, 1.25)
+        small = wasted_bandwidth_exact(0.5, sessions, 10.0, 1.25)
+        assert small < big
+
+    def test_waste_decreases_with_smaller_accumulation(self):
+        sessions = [(1e6, 300.0, 0.2)] * 10
+        assert (wasted_bandwidth_exact(0.5, sessions, 40.0, 1.0)
+                < wasted_bandwidth_exact(0.5, sessions, 40.0, 1.5))
+
+    def test_waste_sweep_is_monotone(self):
+        sessions = [(1e6, 300.0, 0.2)] * 5
+        points = waste_sweep(0.5, sessions, [10.0, 40.0], [1.0, 1.25])
+        by_key = {(p.buffering_playback_s, p.accumulation_ratio): p.wasted_bps
+                  for p in points}
+        assert by_key[(10.0, 1.0)] <= by_key[(40.0, 1.25)]
+
+    def test_monte_carlo_matches_closed_form(self):
+        catalog = uniform_catalog(rate=1 * MBPS, duration=300.0)
+        lam = 0.5
+        beta = 0.2
+        empirical = simulate_wasted_bandwidth(
+            catalog, lam, horizon=30000.0,
+            buffering_playback_s=40.0, accumulation_ratio=1.25,
+            beta_sampler=lambda rng, L: beta, seed=3)
+        closed = wasted_bandwidth_exact(
+            lam, [(1e6, 300.0, beta)], 40.0, 1.25)
+        assert empirical == pytest.approx(closed, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            critical_duration(40.0, 0.9, 0.2)
+        with pytest.raises(ValueError):
+            unused_playback_seconds(0.0, 40.0, 1.25, 0.2)
+        with pytest.raises(ValueError):
+            wasted_bandwidth_exact(0.0, [(1e6, 100.0, 0.2)], 40.0, 1.25)
+        with pytest.raises(ValueError):
+            wasted_bandwidth_exact(1.0, [], 40.0, 1.25)
+
+
+class TestDimensioning:
+    def moments(self):
+        return PopulationMoments.from_sessions(
+            rates=[1e6] * 3, durations=[200.0] * 3, download_rates=[8e6] * 3)
+
+    def test_required_capacity_rule(self):
+        assert required_capacity(100.0, 400.0, alpha=2.0) == pytest.approx(140.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            required_capacity(100.0, 400.0, alpha=0.5)
+
+    def test_plan_headroom(self):
+        plan = plan_for(0.5, self.moments(), alpha=2.0)
+        assert 0.0 < plan.headroom_share < 1.0
+        assert plan.capacity_bps > plan.mean_bps
+
+    def test_strategy_migration_is_neutral(self):
+        effect = strategy_migration(0.5, self.moments())
+        assert effect.capacity_ratio == pytest.approx(1.0)
+        assert effect.smoothness_ratio == pytest.approx(1.0)
+
+    def test_encoding_rate_migration_scales_mean_linearly(self):
+        effect = encoding_rate_migration(0.5, self.moments(), rate_scale=2.0)
+        assert effect.mean_ratio == pytest.approx(2.0)
+        # smoother: CV falls by 1/sqrt(2)
+        assert effect.smoothness_ratio == pytest.approx(1 / math.sqrt(2))
+
+    def test_rate_scale_validation(self):
+        with pytest.raises(ValueError):
+            encoding_rate_migration(0.5, self.moments(), rate_scale=0.0)
+
+
+class TestHigherMoments:
+    """The paper's remark: the strategy invariance extends to all moments."""
+
+    def test_power_integrals_invariant_across_strategies(self):
+        from repro.model import ConstantRate, OnOffRate
+
+        bulk = ConstantRate(size_bits=80e6, peak_bps=10e6)
+        onoff = OnOffRate(80e6, 10e6, period_s=2.0, duty=0.25,
+                          buffering_bits=10e6)
+        for n in (1, 2, 3, 4, 5):
+            assert bulk.integral_rate_power(n) == pytest.approx(
+                onoff.integral_rate_power(n))
+
+    def test_power_integral_closed_form(self):
+        from repro.model import ConstantRate
+
+        p = ConstantRate(size_bits=8e6, peak_bps=4e6)
+        assert p.integral_rate_power(1) == 8e6
+        assert p.integral_rate_power(2) == 8e6 * 4e6
+        assert p.integral_rate_power(3) == 8e6 * 4e6 ** 2
+
+    def test_power_order_validation(self):
+        from repro.model import ConstantRate, OnOffRate
+
+        with pytest.raises(ValueError):
+            ConstantRate(8e6, 4e6).integral_rate_power(0)
+        with pytest.raises(ValueError):
+            OnOffRate(8e6, 4e6, 1.0, 0.5).integral_rate_power(0)
+
+    def test_cumulants_match_variance_equation(self):
+        from repro.model import (aggregate_cumulant,
+                                 aggregate_variance_factored)
+
+        k2 = aggregate_cumulant(0.5, 2, 1e6, 100.0, 4e6)
+        assert k2 == pytest.approx(
+            aggregate_variance_factored(0.5, 1e6, 100.0, 4e6))
+
+    def test_skewness_decreases_with_load(self):
+        from repro.model import aggregate_skewness
+
+        light = aggregate_skewness(0.1, 1e6, 100.0, 4e6)
+        heavy = aggregate_skewness(10.0, 1e6, 100.0, 4e6)
+        assert light > heavy > 0
+        assert light / heavy == pytest.approx((10.0 / 0.1) ** 0.5)
+
+    def test_cumulant_validation(self):
+        from repro.model import aggregate_cumulant
+
+        with pytest.raises(ValueError):
+            aggregate_cumulant(0.5, 0, 1e6, 100.0, 4e6)
+        with pytest.raises(ValueError):
+            aggregate_cumulant(-1.0, 2, 1e6, 100.0, 4e6)
+
+
+class TestConcurrentSessions:
+    """M/G/inf view: server load *does* depend on the strategy via E[D]."""
+
+    def test_mean_is_lambda_times_duration(self):
+        from repro.model import mean_concurrent_sessions
+
+        assert mean_concurrent_sessions(2.0, 30.0) == 60.0
+
+    def test_quantile_above_mean_and_tight(self):
+        from repro.model import (concurrent_sessions_quantile,
+                                 mean_concurrent_sessions)
+
+        mean = mean_concurrent_sessions(2.0, 50.0)
+        q99 = concurrent_sessions_quantile(2.0, 50.0, q=0.99)
+        assert mean < q99 < mean + 5 * mean ** 0.5
+
+    def test_quantile_monotone_in_q(self):
+        from repro.model import concurrent_sessions_quantile
+
+        assert (concurrent_sessions_quantile(1.0, 100.0, q=0.5)
+                <= concurrent_sessions_quantile(1.0, 100.0, q=0.999))
+
+    def test_throttling_raises_server_load(self):
+        """A paced download takes D' = S/(k e) > S/G = D: same bandwidth,
+        more concurrent connections."""
+        from repro.model import ConstantRate, OnOffRate, mean_concurrent_sessions
+
+        size, peak = 80e6, 10e6
+        bulk = ConstantRate(size, peak)
+        paced = OnOffRate(size, peak, period_s=0.5, duty=0.125)  # k*e = 1.25M
+        assert paced.duration > bulk.duration
+        lam = 1.0
+        assert (mean_concurrent_sessions(lam, paced.duration)
+                > mean_concurrent_sessions(lam, bulk.duration))
+
+    def test_validation(self):
+        from repro.model import (concurrent_sessions_quantile,
+                                 mean_concurrent_sessions)
+
+        with pytest.raises(ValueError):
+            mean_concurrent_sessions(0.0, 10.0)
+        with pytest.raises(ValueError):
+            mean_concurrent_sessions(1.0, 0.0)
+        with pytest.raises(ValueError):
+            concurrent_sessions_quantile(1.0, 10.0, q=1.0)

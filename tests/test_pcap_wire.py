@@ -1,0 +1,161 @@
+"""Tests for Ethernet/IPv4/TCP wire serialization."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pcap import ethernet, ipv4, tcpwire
+
+
+class TestEthernet:
+    def test_round_trip(self):
+        dst = ethernet.mac_from_ip("10.0.0.1")
+        src = ethernet.mac_from_ip("192.0.2.1")
+        frame = ethernet.pack(dst, src, b"payload")
+        d, s, ethertype, payload = ethernet.unpack(frame)
+        assert (d, s, ethertype, payload) == (dst, src, 0x0800, b"payload")
+
+    def test_mac_from_ip_deterministic_and_local(self):
+        mac = ethernet.mac_from_ip("10.1.2.3")
+        assert mac == bytes([0x02, 0x00, 10, 1, 2, 3])
+        assert mac[0] & 0x02  # locally administered bit
+
+    def test_mac_from_bad_ip(self):
+        with pytest.raises(ethernet.EthernetError):
+            ethernet.mac_from_ip("300.0.0.1")
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(ethernet.EthernetError):
+            ethernet.unpack(b"short")
+
+    def test_bad_mac_length_rejected(self):
+        with pytest.raises(ethernet.EthernetError):
+            ethernet.pack(b"\x00" * 5, b"\x00" * 6, b"")
+
+
+class TestIpv4:
+    def test_round_trip(self):
+        packet = ipv4.pack("10.0.0.1", "192.0.2.1", b"hello")
+        src, dst, proto, payload = ipv4.unpack(packet)
+        assert (src, dst, proto, payload) == ("10.0.0.1", "192.0.2.1", 6, b"hello")
+
+    def test_checksum_is_valid(self):
+        packet = ipv4.pack("10.0.0.1", "192.0.2.1", b"x" * 100)
+        assert ipv4.checksum(packet[:20]) == 0
+
+    def test_corrupted_header_detected(self):
+        packet = bytearray(ipv4.pack("10.0.0.1", "192.0.2.1", b"x"))
+        packet[8] ^= 0xFF  # flip TTL
+        with pytest.raises(ipv4.Ipv4Error):
+            ipv4.unpack(bytes(packet))
+
+    def test_corruption_ignored_when_not_verifying(self):
+        packet = bytearray(ipv4.pack("10.0.0.1", "192.0.2.1", b"x"))
+        packet[8] ^= 0xFF
+        ipv4.unpack(bytes(packet), verify_checksum=False)  # must not raise
+
+    def test_total_length_bounds_payload(self):
+        packet = ipv4.pack("10.0.0.1", "192.0.2.1", b"abc")
+        # append trailing garbage (ethernet padding); parse must ignore it
+        src, dst, proto, payload = ipv4.unpack(packet + b"\x00" * 6)
+        assert payload == b"abc"
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ipv4.Ipv4Error):
+            ipv4.pack("10.0.0.1", "192.0.2.1", b"x" * 65536)
+
+    def test_checksum_rfc1071_known_vector(self):
+        # classic example from RFC 1071 materials
+        data = bytes.fromhex("45000073000040004011b861c0a80001c0a800c7")
+        assert ipv4.checksum(data) == 0
+
+    def test_ip_string_round_trip(self):
+        assert ipv4.bytes_to_ip(ipv4.ip_to_bytes("1.2.3.4")) == "1.2.3.4"
+
+    @given(st.binary(max_size=200))
+    def test_round_trip_arbitrary_payload(self, payload):
+        packet = ipv4.pack("10.0.0.1", "192.0.2.1", payload)
+        _, _, _, out = ipv4.unpack(packet)
+        assert out == payload
+
+
+class TestTcpWire:
+    def test_round_trip_plain(self):
+        raw = tcpwire.pack(
+            "10.0.0.1", "192.0.2.1", 49152, 80,
+            seq=1000, ack=2000, flags=tcpwire.ACK | tcpwire.PSH,
+            window=500, payload=b"GET /",
+        )
+        seg = tcpwire.unpack("10.0.0.1", "192.0.2.1", raw)
+        assert seg.src_port == 49152
+        assert seg.dst_port == 80
+        assert seg.seq == 1000
+        assert seg.ack == 2000
+        assert seg.flags == tcpwire.ACK | tcpwire.PSH
+        assert seg.window_raw == 500
+        assert seg.payload == b"GET /"
+
+    def test_syn_options_round_trip(self):
+        raw = tcpwire.pack(
+            "10.0.0.1", "192.0.2.1", 49152, 80,
+            seq=0, ack=0, flags=tcpwire.SYN, window=65535,
+            mss=1460, wscale=7,
+        )
+        seg = tcpwire.unpack("10.0.0.1", "192.0.2.1", raw)
+        assert seg.mss == 1460
+        assert seg.wscale == 7
+        assert seg.flags & tcpwire.SYN
+
+    def test_scaled_window(self):
+        seg = tcpwire.WireSegment(1, 2, 0, 0, tcpwire.ACK, 100, b"")
+        assert seg.scaled_window(7) == 100 << 7
+
+    def test_syn_window_never_scaled(self):
+        seg = tcpwire.WireSegment(1, 2, 0, 0, tcpwire.SYN, 100, b"")
+        assert seg.scaled_window(7) == 100
+
+    def test_checksum_detects_payload_corruption(self):
+        raw = bytearray(tcpwire.pack(
+            "10.0.0.1", "192.0.2.1", 1, 2,
+            seq=5, ack=6, flags=tcpwire.ACK, window=10, payload=b"data",
+        ))
+        raw[-1] ^= 0xFF
+        with pytest.raises(tcpwire.TcpWireError):
+            tcpwire.unpack("10.0.0.1", "192.0.2.1", bytes(raw))
+
+    def test_checksum_covers_pseudo_header(self):
+        raw = tcpwire.pack("10.0.0.1", "192.0.2.1", 1, 2,
+                           seq=5, ack=6, flags=tcpwire.ACK, window=10)
+        with pytest.raises(tcpwire.TcpWireError):
+            tcpwire.unpack("10.0.0.9", "192.0.2.1", raw)  # wrong src ip
+
+    def test_sequence_wraps_32_bits(self):
+        raw = tcpwire.pack("10.0.0.1", "192.0.2.1", 1, 2,
+                           seq=(1 << 32) + 7, ack=0, flags=tcpwire.ACK, window=0)
+        seg = tcpwire.unpack("10.0.0.1", "192.0.2.1", raw)
+        assert seg.seq == 7
+
+    def test_window_field_range_checked(self):
+        with pytest.raises(tcpwire.TcpWireError):
+            tcpwire.pack("10.0.0.1", "192.0.2.1", 1, 2,
+                         seq=0, ack=0, flags=tcpwire.ACK, window=70000)
+
+    def test_short_segment_rejected(self):
+        with pytest.raises(tcpwire.TcpWireError):
+            tcpwire.unpack("10.0.0.1", "192.0.2.1", b"tiny")
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=65535),
+        st.binary(max_size=100),
+    )
+    def test_round_trip_arbitrary_fields(self, seq, ack, window, payload):
+        raw = tcpwire.pack("10.0.0.1", "192.0.2.1", 1234, 80,
+                           seq=seq, ack=ack, flags=tcpwire.ACK,
+                           window=window, payload=payload)
+        seg = tcpwire.unpack("10.0.0.1", "192.0.2.1", raw)
+        assert (seg.seq, seg.ack, seg.window_raw, seg.payload) == (
+            seq, ack, window, payload)

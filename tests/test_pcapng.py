@@ -1,0 +1,116 @@
+"""Tests for the pcapng reader/writer."""
+
+import io
+import struct
+
+import pytest
+
+from repro.pcap import (
+    PcapError,
+    PcapngReader,
+    PcapngWriter,
+    is_pcapng,
+    records_from_pcap,
+)
+from repro.simnet import NetworkProfile
+from tests.test_pcap_capture import captured_transfer
+
+
+class TestRoundTrip:
+    def test_writer_reader_round_trip(self):
+        buf = io.BytesIO()
+        writer = PcapngWriter(buf)
+        writer.write_packet(1.5, b"frame-one")
+        writer.write_packet(2.25, b"frame-two!")
+        buf.seek(0)
+        reader = PcapngReader(buf)
+        out = list(reader)
+        assert [(t, d) for t, d, _ in out] == [
+            (1.5, b"frame-one"), (2.25, b"frame-two!")]
+        assert reader.linktype == 1
+
+    def test_timestamp_precision_microseconds(self):
+        buf = io.BytesIO()
+        PcapngWriter(buf).write_packet(1234.567891, b"x")
+        buf.seek(0)
+        (t, _, _), = list(PcapngReader(buf))
+        assert t == pytest.approx(1234.567891, abs=1e-6)
+
+    def test_unpadded_and_padded_frames(self):
+        buf = io.BytesIO()
+        writer = PcapngWriter(buf)
+        writer.write_packet(0.0, b"abcd")      # already 4-aligned
+        writer.write_packet(0.0, b"abcde")     # needs padding
+        buf.seek(0)
+        frames = [d for _, d, _ in PcapngReader(buf)]
+        assert frames == [b"abcd", b"abcde"]
+
+
+class TestFormatEdges:
+    def test_not_pcapng_rejected(self):
+        with pytest.raises(PcapError):
+            PcapngReader(io.BytesIO(b"\xa1\xb2\xc3\xd4" + b"\x00" * 20))
+
+    def test_bad_byte_order_magic(self):
+        raw = struct.pack("<III", 0x0A0D0D0A, 28, 0xDEADBEEF) + b"\x00" * 16
+        with pytest.raises(PcapError):
+            PcapngReader(io.BytesIO(raw))
+
+    def test_unknown_blocks_skipped(self):
+        buf = io.BytesIO()
+        writer = PcapngWriter(buf)
+        writer.write_packet(1.0, b"data")
+        # append an unknown block type (e.g. name resolution, 0x4)
+        buf.write(struct.pack("<II", 0x00000004, 16) + b"\x00" * 4
+                  + struct.pack("<I", 16))
+        writer2 = None
+        buf.seek(0)
+        out = list(PcapngReader(buf))
+        assert len(out) == 1
+
+    def test_length_trailer_mismatch_detected(self):
+        buf = io.BytesIO()
+        writer = PcapngWriter(buf)
+        writer.write_packet(1.0, b"data")
+        raw = bytearray(buf.getvalue())
+        raw[-1] ^= 0xFF  # corrupt the trailing block length
+        with pytest.raises(PcapError):
+            list(PcapngReader(io.BytesIO(bytes(raw))))
+
+    def test_is_pcapng_sniff(self, tmp_path):
+        ng = tmp_path / "a.pcapng"
+        with open(ng, "wb") as f:
+            PcapngWriter(f)
+        assert is_pcapng(str(ng))
+        classic = tmp_path / "b.pcap"
+        from repro.pcap import PcapWriter
+
+        with open(classic, "wb") as f:
+            PcapWriter(f)
+        assert not is_pcapng(str(classic))
+
+
+class TestPipelineIntegration:
+    def test_records_from_pcapng_matches_classic(self, tmp_path):
+        """The analysis input is identical whichever format carried it."""
+        capture = captured_transfer(nbytes=120_000)
+        classic_path = str(tmp_path / "c.pcap")
+        capture.write_pcap(classic_path)
+
+        ng_path = str(tmp_path / "c.pcapng")
+        from repro.pcap.capture import segment_to_frame
+
+        capture._entries.sort(key=lambda e: e[0])
+        with open(ng_path, "wb") as f:
+            writer = PcapngWriter(f)
+            for t, seg in capture._entries:
+                writer.write_packet(t, segment_to_frame(seg))
+
+        classic = records_from_pcap(classic_path)
+        ng = records_from_pcap(ng_path)
+        assert len(classic) == len(ng)
+        for a, b in zip(classic, ng):
+            assert a.seq == b.seq
+            assert a.payload_len == b.payload_len
+            assert a.timestamp == pytest.approx(b.timestamp, abs=2e-6)
+            assert a.window == b.window

@@ -1,0 +1,87 @@
+"""Cross-player invariants: accounting laws every player must obey."""
+
+import pytest
+
+from repro.analysis import analyze_session
+from repro.simnet import NetworkProfile
+from repro.streaming import (
+    Application,
+    Container,
+    Service,
+    SessionConfig,
+    run_session,
+)
+from repro.workloads import MBPS, NETFLIX_LADDER_BPS, Video
+
+FAST = NetworkProfile(
+    name="Fast", down_bps=40e6, up_bps=40e6, rtt=0.02, loss_down=0.0,
+    buffer_bytes=1024 * 1024,
+)
+
+CASES = [
+    ("flash", Service.YOUTUBE, Application.FIREFOX, Container.FLASH, "flv"),
+    ("ie", Service.YOUTUBE, Application.INTERNET_EXPLORER, Container.HTML5,
+     "webm"),
+    ("chrome", Service.YOUTUBE, Application.CHROME, Container.HTML5, "webm"),
+    ("android", Service.YOUTUBE, Application.ANDROID, Container.HTML5,
+     "webm"),
+    ("ipad", Service.YOUTUBE, Application.IOS, Container.HTML5, "webm"),
+    ("netflix", Service.NETFLIX, Application.FIREFOX, None, "silverlight"),
+]
+
+
+def build_video(container):
+    if container == "silverlight":
+        ladder = tuple(zip(("a", "b", "c", "d", "e"), NETFLIX_LADDER_BPS))
+        return Video(video_id="inv", duration=2400.0,
+                     encoding_rate_bps=NETFLIX_LADDER_BPS[-1],
+                     resolution="1080p", container="silverlight",
+                     variants=ladder)
+    return Video(video_id="inv", duration=300.0,
+                 encoding_rate_bps=1.8 * MBPS, resolution="360p",
+                 container=container)
+
+
+@pytest.fixture(scope="module")
+def session_results():
+    out = {}
+    for name, service, application, container, codec in CASES:
+        config = SessionConfig(
+            profile=FAST, service=service, application=application,
+            container=container, capture_duration=75.0, seed=9,
+            probe_period=1.0,
+        )
+        out[name] = run_session(build_video(codec), config)
+    return out
+
+
+@pytest.mark.parametrize("name", [c[0] for c in CASES])
+class TestInvariants:
+    def test_progress_made(self, session_results, name):
+        result = session_results[name]
+        assert result.downloaded > 0
+        assert result.records
+
+    def test_buffer_never_negative(self, session_results, name):
+        series = session_results[name].buffer_series
+        assert series is not None
+        assert min(series.values) >= 0.0
+
+    def test_playback_within_video(self, session_results, name):
+        result = session_results[name]
+        assert 0.0 <= result.playback_position_s <= result.video.duration
+
+    def test_unique_bytes_bounded_by_downloads(self, session_results, name):
+        """The trace's unique downstream bytes account for at least what
+        the player consumed (body) and at most the payload on the wire."""
+        result = session_results[name]
+        analysis = analyze_session(result, use_true_rate=True)
+        trace = analysis.trace
+        assert trace.total_bytes >= result.downloaded * 0.99
+        assert trace.total_payload_bytes >= trace.total_bytes
+
+    def test_capture_time_bounds(self, session_results, name):
+        result = session_results[name]
+        times = [r.timestamp for r in result.records]
+        assert times == sorted(times)
+        assert times[-1] <= result.config.capture_duration + 1e-6

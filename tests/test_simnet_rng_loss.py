@@ -1,0 +1,141 @@
+"""Tests for seeded RNG streams and the loss models."""
+
+import random
+
+import pytest
+
+from repro.simnet import (
+    BernoulliLoss,
+    ConfigurationError,
+    DeterministicLoss,
+    GilbertElliottLoss,
+    NoLoss,
+    PredicateLoss,
+    RngRegistry,
+    derive_seed,
+)
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream(self):
+        reg = RngRegistry(42)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_streams_are_reproducible(self):
+        r1 = RngRegistry(42).stream("loss")
+        r2 = RngRegistry(42).stream("loss")
+        assert [r1.random() for _ in range(5)] == [r2.random() for _ in range(5)]
+
+    def test_different_names_differ(self):
+        reg = RngRegistry(42)
+        a = [reg.stream("a").random() for _ in range(5)]
+        b = [reg.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x").random()
+        b = RngRegistry(2).stream("x").random()
+        assert a != b
+
+    def test_fork_derives_child_registry(self):
+        parent = RngRegistry(7)
+        child1 = parent.fork("exp1")
+        child2 = parent.fork("exp1")
+        assert child1.root_seed == child2.root_seed
+        assert child1.root_seed != parent.root_seed
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+
+
+class TestNoLoss:
+    def test_never_drops(self):
+        model = NoLoss()
+        assert not any(model.should_drop() for _ in range(1000))
+
+
+class TestBernoulliLoss:
+    def test_zero_rate_never_drops(self):
+        model = BernoulliLoss(0.0, random.Random(1))
+        assert not any(model.should_drop() for _ in range(100))
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(1.0, random.Random(1))
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(-0.1, random.Random(1))
+
+    def test_empirical_rate_close_to_nominal(self):
+        model = BernoulliLoss(0.1, random.Random(123))
+        n = 20000
+        drops = sum(model.should_drop() for _ in range(n))
+        assert 0.08 < drops / n < 0.12
+
+    def test_reproducible_with_seed(self):
+        m1 = BernoulliLoss(0.3, random.Random(9))
+        m2 = BernoulliLoss(0.3, random.Random(9))
+        seq1 = [m1.should_drop() for _ in range(50)]
+        seq2 = [m2.should_drop() for _ in range(50)]
+        assert seq1 == seq2
+
+
+class TestGilbertElliott:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLoss(1.5, 0.5, random.Random(1))
+
+    def test_all_good_never_drops(self):
+        model = GilbertElliottLoss(0.0, 1.0, random.Random(1), loss_good=0.0)
+        assert not any(model.should_drop() for _ in range(500))
+
+    def test_steady_state_loss_formula(self):
+        model = GilbertElliottLoss(0.1, 0.3, random.Random(1), loss_good=0.0, loss_bad=0.5)
+        p_bad = 0.1 / 0.4
+        assert model.steady_state_loss == pytest.approx(p_bad * 0.5)
+
+    def test_empirical_matches_steady_state(self):
+        model = GilbertElliottLoss(0.05, 0.2, random.Random(77), loss_good=0.01, loss_bad=0.4)
+        n = 50000
+        drops = sum(model.should_drop() for _ in range(n))
+        assert drops / n == pytest.approx(model.steady_state_loss, rel=0.25)
+
+    def test_reset_restores_good_state(self):
+        model = GilbertElliottLoss(1.0, 0.0, random.Random(1), loss_bad=1.0)
+        model.should_drop()  # forces transition to bad
+        model.reset()
+        assert model._bad is False
+
+    def test_losses_are_bursty(self):
+        """Mean burst length should exceed the Bernoulli expectation."""
+        model = GilbertElliottLoss(0.01, 0.2, random.Random(5), loss_good=0.0, loss_bad=1.0)
+        seq = [model.should_drop() for _ in range(50000)]
+        bursts = []
+        run = 0
+        for drop in seq:
+            if drop:
+                run += 1
+            elif run:
+                bursts.append(run)
+                run = 0
+        assert bursts, "expected some losses"
+        assert sum(bursts) / len(bursts) > 1.5
+
+
+class TestDeterministicLoss:
+    def test_drops_exact_indices(self):
+        model = DeterministicLoss({1, 3})
+        assert [model.should_drop() for _ in range(5)] == [False, True, False, True, False]
+
+    def test_reset_restarts_counting(self):
+        model = DeterministicLoss({0})
+        assert model.should_drop() is True
+        assert model.should_drop() is False
+        model.reset()
+        assert model.should_drop() is True
+
+
+class TestPredicateLoss:
+    def test_predicate_receives_index(self):
+        model = PredicateLoss(lambda i: i % 2 == 0)
+        assert [model.should_drop() for _ in range(4)] == [True, False, True, False]

@@ -1,0 +1,174 @@
+"""Tests for the simulation clock and event scheduler."""
+
+import pytest
+
+from repro.simnet import EventScheduler, SchedulingError, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(5.0).now() == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(SchedulingError):
+            SimClock(-1.0)
+
+    def test_advances_forward(self):
+        clock = SimClock()
+        clock.advance_to(3.5)
+        assert clock.now() == 3.5
+
+    def test_rejects_backwards_move(self):
+        clock = SimClock(2.0)
+        with pytest.raises(SchedulingError):
+            clock.advance_to(1.0)
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = SimClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now() == 2.0
+
+
+class TestEventScheduler:
+    def test_fires_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.at(2.0, lambda: fired.append("b"))
+        sched.at(1.0, lambda: fired.append("a"))
+        sched.at(3.0, lambda: fired.append("c"))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        sched = EventScheduler()
+        fired = []
+        for name in "abcde":
+            sched.at(1.0, lambda n=name: fired.append(n))
+        sched.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_with_events(self):
+        sched = EventScheduler()
+        seen = []
+        sched.at(1.5, lambda: seen.append(sched.clock.now()))
+        sched.run()
+        assert seen == [1.5]
+
+    def test_after_schedules_relative(self):
+        sched = EventScheduler()
+        seen = []
+        sched.at(1.0, lambda: sched.after(0.5, lambda: seen.append(sched.clock.now())))
+        sched.run()
+        assert seen == [1.5]
+
+    def test_rejects_past_events(self):
+        sched = EventScheduler()
+        sched.at(1.0, lambda: None)
+        sched.run()
+        with pytest.raises(SchedulingError):
+            sched.at(0.5, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        sched = EventScheduler()
+        with pytest.raises(SchedulingError):
+            sched.after(-0.1, lambda: None)
+
+    def test_cancel_prevents_firing(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.at(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sched.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sched = EventScheduler()
+        handle = sched.at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_run_until_stops_at_horizon(self):
+        sched = EventScheduler()
+        fired = []
+        sched.at(1.0, lambda: fired.append(1))
+        sched.at(2.0, lambda: fired.append(2))
+        n = sched.run_until(1.5)
+        assert n == 1
+        assert fired == [1]
+        assert sched.clock.now() == 1.5
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sched = EventScheduler()
+        sched.run_until(10.0)
+        assert sched.clock.now() == 10.0
+
+    def test_run_until_inclusive_of_horizon_events(self):
+        sched = EventScheduler()
+        fired = []
+        sched.at(2.0, lambda: fired.append(2))
+        sched.run_until(2.0)
+        assert fired == [2]
+
+    def test_pending_counts_live_events(self):
+        sched = EventScheduler()
+        h1 = sched.at(1.0, lambda: None)
+        sched.at(2.0, lambda: None)
+        assert sched.pending == 2
+        h1.cancel()
+        assert sched.pending == 1
+
+    def test_peek_time_skips_cancelled(self):
+        sched = EventScheduler()
+        h1 = sched.at(1.0, lambda: None)
+        sched.at(2.0, lambda: None)
+        h1.cancel()
+        assert sched.peek_time() == 2.0
+
+    def test_step_returns_false_when_empty(self):
+        assert EventScheduler().step() is False
+
+    def test_events_scheduled_during_run_fire(self):
+        sched = EventScheduler()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sched.after(1.0, lambda: chain(n + 1))
+
+        sched.at(0.0, lambda: chain(0))
+        sched.run()
+        assert fired == [0, 1, 2, 3]
+        assert sched.clock.now() == 3.0
+
+    def test_max_events_bound(self):
+        sched = EventScheduler()
+        for i in range(10):
+            sched.at(float(i), lambda: None)
+        n = sched.run(max_events=4)
+        assert n == 4
+        assert sched.pending == 6
+
+    def test_fired_counter(self):
+        sched = EventScheduler()
+        sched.at(1.0, lambda: None)
+        sched.at(2.0, lambda: None)
+        sched.run()
+        assert sched.fired == 2
+
+    def test_run_while_predicate(self):
+        sched = EventScheduler()
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+            sched.after(1.0, tick)
+
+        sched.at(0.0, tick)
+        sched.run_while(lambda: count["n"] < 5, horizon=100.0)
+        assert count["n"] == 5

@@ -1,0 +1,217 @@
+"""Tests for the video server, HTTP plumbing and policy lookup."""
+
+import pytest
+
+from repro.http import parse_response_head
+from repro.simnet import NetworkProfile, build_client_server
+from repro.streaming import (
+    Application,
+    Container,
+    FLASH_SERVER,
+    BULK_SERVER,
+    RANGE_SERVER,
+    Service,
+    ServerPolicy,
+    UnsupportedCombination,
+    VideoServer,
+    client_policy_for,
+    container_for_video,
+    parse_video_path,
+    server_policy_for,
+    video_path,
+)
+from repro.tcp import TcpConfig, TcpConnection
+from repro.workloads import MBPS, Video
+
+CLEAN = NetworkProfile(
+    name="Clean", down_bps=20e6, up_bps=20e6, rtt=0.02, loss_down=0.0,
+    buffer_bytes=512 * 1024,
+)
+
+
+def make_video(**kw):
+    defaults = dict(video_id="vid1", duration=60.0, encoding_rate_bps=1 * MBPS,
+                    resolution="360p", container="flv")
+    defaults.update(kw)
+    return Video(**defaults)
+
+
+def fetch(video, path, *, range_header=None, horizon=60.0, policy=None):
+    """Issue one request against a VideoServer; return (head, body_len)."""
+    net, client_host, server_host, _ = build_client_server(CLEAN, seed=1)
+    VideoServer(server_host, net.scheduler, {video.video_id: video},
+                policy_override=policy)
+    conn = TcpConnection(client_host, net.scheduler,
+                         client_host.allocate_port(), server_host.ip, 80)
+    collected = bytearray()
+
+    def on_data(c):
+        collected.extend(c.recv(1 << 22))
+
+    conn.on_data = on_data
+
+    def send(c):
+        request = f"GET {path} HTTP/1.1\r\nHost: x\r\n"
+        if range_header:
+            request += f"Range: {range_header}\r\n"
+        request += "\r\n"
+        c.send(request.encode())
+
+    conn.on_connected = send
+    conn.connect()
+    net.run_until(horizon)
+    parsed = parse_response_head(bytes(collected))
+    assert parsed is not None, "no complete response head received"
+    head, consumed = parsed
+    return head, len(collected) - consumed
+
+
+class TestVideoPath:
+    def test_round_trip_without_rate(self):
+        assert parse_video_path(video_path("abc")) == ("abc", None)
+
+    def test_round_trip_with_rate(self):
+        vid, rate = parse_video_path(video_path("abc", 1_500_000.25))
+        assert vid == "abc"
+        assert rate == 1_500_000.25
+
+    def test_rejects_other_paths(self):
+        with pytest.raises(ValueError):
+            parse_video_path("/favicon.ico")
+
+
+class TestServerPolicyLookup:
+    def test_flash_is_paced(self):
+        assert server_policy_for(Container.FLASH) is FLASH_SERVER
+
+    def test_hd_and_html5_are_bulk(self):
+        assert server_policy_for(Container.FLASH_HD) is BULK_SERVER
+        assert server_policy_for(Container.HTML5) is BULK_SERVER
+
+    def test_silverlight_is_range(self):
+        assert server_policy_for(Container.SILVERLIGHT) is RANGE_SERVER
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ServerPolicy(mode="magic")
+        with pytest.raises(ValueError):
+            ServerPolicy(mode="paced", accumulation_ratio=0.9)
+        with pytest.raises(ValueError):
+            ServerPolicy(mode="paced", block_bytes=0)
+
+
+class TestClientPolicyLookup:
+    def test_every_table1_cell_has_a_policy(self):
+        from repro.streaming import TABLE1_EXPECTED
+
+        for service, container, application in TABLE1_EXPECTED:
+            assert client_policy_for(service, container, application) is not None
+
+    def test_mobile_flash_unsupported(self):
+        with pytest.raises(UnsupportedCombination):
+            client_policy_for(Service.YOUTUBE, Container.FLASH, Application.IOS)
+
+    def test_netflix_requires_silverlight(self):
+        with pytest.raises(UnsupportedCombination):
+            client_policy_for(Service.NETFLIX, Container.HTML5,
+                              Application.FIREFOX)
+
+
+class TestContainerForVideo:
+    def test_webm_maps_to_html5(self):
+        video = make_video(container="webm")
+        assert container_for_video(video, Service.YOUTUBE) is Container.HTML5
+
+    def test_flv_720p_maps_to_hd(self):
+        video = make_video(resolution="720p")
+        assert container_for_video(video, Service.YOUTUBE) is Container.FLASH_HD
+
+    def test_flv_default_maps_to_flash(self):
+        assert container_for_video(make_video(), Service.YOUTUBE) is Container.FLASH
+
+    def test_netflix_always_silverlight(self):
+        video = make_video(container="silverlight")
+        assert container_for_video(video, Service.NETFLIX) is Container.SILVERLIGHT
+
+
+class TestServerResponses:
+    def test_full_response_content_length(self):
+        video = make_video(duration=10.0)  # small: 1.25 MB
+        head, body = fetch(video, video_path("vid1"), policy=BULK_SERVER)
+        assert head.status == 200
+        expected = 32 + video.size_bytes  # container header + media
+        assert head.content_length == expected
+        assert body == expected
+
+    def test_flv_header_at_stream_start(self):
+        video = make_video(duration=5.0)
+        net, client_host, server_host, _ = build_client_server(CLEAN, seed=1)
+        VideoServer(server_host, net.scheduler, {video.video_id: video},
+                    policy_override=BULK_SERVER)
+        conn = TcpConnection(client_host, net.scheduler,
+                             client_host.allocate_port(), server_host.ip, 80)
+        collected = bytearray()
+        conn.on_data = lambda c: collected.extend(c.recv(1 << 22))
+        conn.on_connected = lambda c: c.send(
+            f"GET {video_path('vid1')} HTTP/1.1\r\n\r\n".encode())
+        conn.connect()
+        net.run_until(30.0)
+        parsed = parse_response_head(bytes(collected))
+        _head, consumed = parsed
+        from repro.http import parse_container_header
+
+        meta = parse_container_header(bytes(collected[consumed:]))
+        assert meta.container == "flv"
+        assert meta.encoding_rate_bps == pytest.approx(video.encoding_rate_bps)
+        assert meta.duration == pytest.approx(video.duration)
+
+    def test_range_request_served_exactly(self):
+        video = make_video(duration=60.0, container="silverlight")
+        head, body = fetch(video, video_path("vid1"),
+                           range_header="bytes=1000-65999")
+        assert head.status == 206
+        assert head.content_length == 65000
+        assert body == 65000
+        assert head.headers.get("Content-Range").startswith("bytes 1000-65999/")
+
+    def test_unsatisfiable_range_416(self):
+        video = make_video(duration=1.0, container="silverlight")
+        head, _ = fetch(video, video_path("vid1"),
+                        range_header="bytes=999999999-999999999")
+        assert head.status == 416
+
+    def test_unknown_video_404(self):
+        video = make_video()
+        head, _ = fetch(video, video_path("nope"))
+        assert head.status == 404
+
+    def test_rendition_selects_size(self):
+        video = make_video(duration=80.0, container="silverlight",
+                           variants=(("480p", 0.5 * MBPS),))
+        head, _ = fetch(video, video_path("vid1", 0.5 * MBPS),
+                        range_header="bytes=0-0")
+        # total behind the Content-Range should be the rendition size
+        total = int(head.headers.get("Content-Range").split("/")[1])
+        assert total == video.size_bytes_at(0.5 * MBPS)
+
+    def test_paced_mode_spreads_transfer_in_time(self):
+        video = make_video(duration=120.0)  # 15 MB at 1 Mbps
+        net, client_host, server_host, _ = build_client_server(CLEAN, seed=1)
+        VideoServer(server_host, net.scheduler, {video.video_id: video})
+        conn = TcpConnection(client_host, net.scheduler,
+                             client_host.allocate_port(), server_host.ip, 80,
+                             config=TcpConfig(recv_buffer=1 << 20))
+        got = {"n": 0}
+        conn.on_data = lambda c: got.__setitem__("n", got["n"] + c.recv_discard(1 << 22))
+        conn.on_connected = lambda c: c.send(
+            f"GET {video_path('vid1')} HTTP/1.1\r\n\r\n".encode())
+        conn.connect()
+        net.run_until(10.0)
+        early = got["n"]
+        # ~40 s of playback pushed up front, plus ~10 s of blocks paced at
+        # 1.25x the encoding rate
+        buffering = 40 * video.encoding_rate_bps / 8
+        paced = 10 * 1.25 * video.encoding_rate_bps / 8
+        assert early < buffering + paced + 256 * 1024
+        net.run_until(60.0)
+        assert got["n"] > early  # pacing continued

@@ -1,0 +1,270 @@
+"""Tests for the RTT estimator and NewReno congestion control."""
+
+import pytest
+
+from repro.tcp import NewRenoCongestion, RttEstimator
+
+
+class TestRttEstimator:
+    def test_first_sample_initializes(self):
+        est = RttEstimator(min_rto=0.2)
+        est.sample(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+        assert est.rto == pytest.approx(max(0.2, 0.1 + 4 * 0.05))
+
+    def test_initial_rto_before_samples(self):
+        est = RttEstimator(min_rto=0.2, initial_rto=1.0)
+        assert est.rto == 1.0
+
+    def test_ewma_converges_to_constant_rtt(self):
+        est = RttEstimator(min_rto=0.01)
+        for _ in range(200):
+            est.sample(0.05)
+        assert est.srtt == pytest.approx(0.05, rel=1e-3)
+        assert est.rttvar == pytest.approx(0.0, abs=1e-3)
+
+    def test_min_rto_clamps(self):
+        est = RttEstimator(min_rto=1.0)
+        for _ in range(50):
+            est.sample(0.01)
+        assert est.rto == 1.0
+
+    def test_max_rto_clamps(self):
+        est = RttEstimator(min_rto=0.2, max_rto=2.0)
+        est.sample(10.0)
+        assert est.rto == 2.0
+
+    def test_backoff_doubles(self):
+        est = RttEstimator(min_rto=0.2, max_rto=60.0)
+        est.sample(0.5)
+        base = est.rto
+        est.backoff()
+        assert est.rto == pytest.approx(2 * base)
+        est.backoff()
+        assert est.rto == pytest.approx(4 * base)
+
+    def test_new_sample_clears_backoff(self):
+        est = RttEstimator(min_rto=0.2)
+        est.sample(0.5)
+        base = est.rto
+        est.backoff()
+        est.sample(0.5)
+        assert est.rto == pytest.approx(base, rel=0.2)
+
+    def test_reset_backoff(self):
+        est = RttEstimator(min_rto=0.2)
+        est.sample(0.5)
+        base = est.rto
+        est.backoff()
+        est.reset_backoff()
+        assert est.rto == pytest.approx(base)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator().sample(-0.1)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator(min_rto=0.0)
+        with pytest.raises(ValueError):
+            RttEstimator(min_rto=2.0, max_rto=1.0)
+
+
+MSS = 1000
+
+
+class TestNewRenoSlowStart:
+    def test_initial_window(self):
+        cc = NewRenoCongestion(MSS, init_cwnd_segments=3)
+        assert cc.cwnd == 3 * MSS
+        assert cc.in_slow_start
+
+    def test_slow_start_grows_per_acked_mss(self):
+        cc = NewRenoCongestion(MSS)
+        before = cc.cwnd
+        cc.on_ack(MSS, snd_una=MSS)
+        assert cc.cwnd == before + MSS
+
+    def test_slow_start_caps_growth_per_ack(self):
+        """Appropriate byte counting: one MSS per ACK at most."""
+        cc = NewRenoCongestion(MSS)
+        before = cc.cwnd
+        cc.on_ack(5 * MSS, snd_una=5 * MSS)
+        assert cc.cwnd == before + MSS
+
+    def test_doubles_roughly_per_round(self):
+        cc = NewRenoCongestion(MSS)
+        start = cc.cwnd
+        # one round: every cwnd byte acked in MSS chunks
+        for _ in range(start // MSS):
+            cc.on_ack(MSS, snd_una=0)
+        assert cc.cwnd == 2 * start
+
+
+class TestNewRenoCongestionAvoidance:
+    def make_ca(self):
+        cc = NewRenoCongestion(MSS)
+        cc.ssthresh = 4 * MSS
+        cc.cwnd = 4 * MSS
+        return cc
+
+    def test_not_in_slow_start(self):
+        assert not self.make_ca().in_slow_start
+
+    def test_linear_growth_per_round(self):
+        cc = self.make_ca()
+        before = cc.cwnd
+        for _ in range(cc.cwnd // MSS):
+            cc.on_ack(MSS, snd_una=0)
+        assert before + MSS * 0.8 <= cc.cwnd <= before + MSS * 1.2
+
+    def test_zero_ack_is_noop(self):
+        cc = self.make_ca()
+        before = cc.cwnd
+        cc.on_ack(0, snd_una=0)
+        assert cc.cwnd == before
+
+
+class TestFastRetransmitRecovery:
+    def test_on_dupacks_enters_recovery(self):
+        cc = NewRenoCongestion(MSS)
+        flight = 10 * MSS
+        assert cc.on_dupacks(flight, snd_nxt=flight) is True
+        assert cc.in_recovery
+        assert cc.ssthresh == flight // 2
+        assert cc.cwnd == flight // 2 + 3 * MSS
+        assert cc.fast_retransmits == 1
+
+    def test_second_dupack_burst_ignored_while_recovering(self):
+        cc = NewRenoCongestion(MSS)
+        cc.on_dupacks(10 * MSS, snd_nxt=10 * MSS)
+        assert cc.on_dupacks(10 * MSS, snd_nxt=10 * MSS) is False
+        assert cc.fast_retransmits == 1
+
+    def test_extra_dupacks_inflate(self):
+        cc = NewRenoCongestion(MSS)
+        cc.on_dupacks(10 * MSS, snd_nxt=10 * MSS)
+        before = cc.cwnd
+        cc.on_extra_dupack()
+        assert cc.cwnd == before + MSS
+
+    def test_full_ack_exits_recovery_at_ssthresh(self):
+        cc = NewRenoCongestion(MSS)
+        cc.on_dupacks(10 * MSS, snd_nxt=10 * MSS)
+        cc.on_ack(10 * MSS, snd_una=11 * MSS)  # beyond recover point
+        assert not cc.in_recovery
+        assert cc.cwnd == cc.ssthresh
+
+    def test_partial_ack_deflates_and_stays_in_recovery(self):
+        cc = NewRenoCongestion(MSS)
+        cc.on_dupacks(10 * MSS, snd_nxt=10 * MSS)
+        before = cc.cwnd
+        cc.on_ack(2 * MSS, snd_una=2 * MSS)  # below recover point
+        assert cc.in_recovery
+        assert cc.cwnd == before - 2 * MSS + MSS
+
+    def test_ssthresh_floor_two_mss(self):
+        cc = NewRenoCongestion(MSS)
+        cc.on_dupacks(MSS, snd_nxt=MSS)
+        assert cc.ssthresh == 2 * MSS
+
+
+class TestTimeout:
+    def test_timeout_collapses_cwnd(self):
+        cc = NewRenoCongestion(MSS)
+        cc.cwnd = 20 * MSS
+        cc.on_timeout(flight_size=20 * MSS)
+        assert cc.cwnd == MSS
+        assert cc.ssthresh == 10 * MSS
+        assert not cc.in_recovery
+        assert cc.timeouts == 1
+
+
+class TestIdleReset:
+    def test_disabled_by_default(self):
+        cc = NewRenoCongestion(MSS)
+        cc.cwnd = 50 * MSS
+        cc.on_idle(idle_time=100.0, rto=1.0)
+        assert cc.cwnd == 50 * MSS
+        assert cc.idle_resets == 0
+
+    def test_enabled_resets_after_rto_idle(self):
+        cc = NewRenoCongestion(MSS, reset_after_idle=True)
+        cc.cwnd = 50 * MSS
+        cc.on_idle(idle_time=2.0, rto=1.0)
+        assert cc.cwnd == cc.init_cwnd
+        assert cc.idle_resets == 1
+
+    def test_enabled_short_idle_no_reset(self):
+        cc = NewRenoCongestion(MSS, reset_after_idle=True)
+        cc.cwnd = 50 * MSS
+        cc.on_idle(idle_time=0.5, rto=1.0)
+        assert cc.cwnd == 50 * MSS
+
+    def test_invalid_mss_rejected(self):
+        with pytest.raises(ValueError):
+            NewRenoCongestion(0)
+
+
+class TestCwndValidation:
+    """RFC 2861: application-limited senders must not inflate cwnd."""
+
+    def test_app_limited_acks_do_not_grow(self):
+        cc = NewRenoCongestion(MSS)
+        before = cc.cwnd
+        cc.on_ack(MSS, snd_una=MSS, cwnd_limited=False)
+        assert cc.cwnd == before
+
+    def test_limited_acks_still_grow(self):
+        cc = NewRenoCongestion(MSS)
+        before = cc.cwnd
+        cc.on_ack(MSS, snd_una=MSS, cwnd_limited=True)
+        assert cc.cwnd == before + MSS
+
+    def test_recovery_deflation_unaffected_by_validation(self):
+        cc = NewRenoCongestion(MSS)
+        cc.on_dupacks(10 * MSS, snd_nxt=10 * MSS)
+        before = cc.cwnd
+        cc.on_ack(2 * MSS, snd_una=2 * MSS, cwnd_limited=False)
+        assert cc.cwnd == before - 2 * MSS + MSS  # partial-ACK deflate
+
+    def test_paced_sender_cwnd_stays_bounded(self):
+        """End to end: a block-paced server's cwnd must plateau."""
+        from repro.simnet import build_client_server, NetworkProfile
+        from repro.streaming import VideoServer
+        from repro.streaming.client import GreedyPlayer
+        from repro.streaming.params import FLASH_CLIENT
+        from repro.tcp import TcpConfig
+        from repro.workloads import MBPS, Video
+
+        profile = NetworkProfile(name="T", down_bps=50e6, up_bps=50e6,
+                                 rtt=0.02, loss_down=0.0,
+                                 buffer_bytes=2 << 20)
+        video = Video(video_id="b", duration=600.0,
+                      encoding_rate_bps=0.5 * MBPS, resolution="240p",
+                      container="flv")
+        net, client_host, server_host, _ = build_client_server(profile,
+                                                               seed=1)
+        holder = {}
+        server = VideoServer(
+            server_host, net.scheduler, {video.video_id: video},
+            tcp_config=TcpConfig(recv_buffer=256 * 1024, trace_cwnd=True))
+        original = server._listener.on_accept
+
+        def tap(conn):
+            holder["conn"] = conn
+            original(conn)
+
+        server._listener.on_accept = tap
+        player = GreedyPlayer(client_host, net.scheduler, server_host.ip,
+                              video, policy=FLASH_CLIENT,
+                              rng=net.rng.stream("x"))
+        player.start()
+        net.run_until(60.0)
+        series = holder["conn"].cwnd_series
+        assert series is not None and len(series) > 2
+        # cwnd in the last 40 s of block pacing must not keep climbing
+        steady = series.window(20.0, 60.0)
+        if len(steady) >= 2:
+            assert steady.values[-1] <= steady.values[0] * 1.05

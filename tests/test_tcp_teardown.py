@@ -1,0 +1,132 @@
+"""Additional TCP state-machine coverage: teardown variants, listeners."""
+
+import pytest
+
+from repro.simnet import NetworkProfile, build_client_server
+from repro.tcp import (
+    CLOSE_WAIT,
+    CLOSED,
+    ESTABLISHED,
+    FIN_WAIT_2,
+    TIME_WAIT,
+    TcpConfig,
+    TcpConnection,
+    TcpListener,
+)
+
+CLEAN = NetworkProfile(
+    name="Clean", down_bps=10e6, up_bps=10e6, rtt=0.02, loss_down=0.0,
+    buffer_bytes=512 * 1024,
+)
+
+
+def make_pair(seed=1):
+    net, client_host, server_host, path = build_client_server(CLEAN, seed=seed)
+    state = {}
+
+    def on_accept(conn):
+        state["server"] = conn
+
+    listener = TcpListener(server_host, net.scheduler, 80, on_accept)
+    client = TcpConnection(client_host, net.scheduler,
+                           client_host.allocate_port(), server_host.ip, 80)
+    return net, client, state, listener, client_host, server_host
+
+
+class TestTeardownVariants:
+    def test_client_initiated_close(self):
+        net, client, state, _, _, _ = make_pair()
+        client.on_connected = lambda c: c.close()
+        client.connect()
+        net.run_until(5.0)
+        server = state["server"]
+        assert server.state == CLOSE_WAIT
+        assert client.state == FIN_WAIT_2
+        server.close()
+        net.run_until(10.0)
+        assert client.state == CLOSED
+        assert server.state == CLOSED
+
+    def test_simultaneous_close(self):
+        net, client, state, _, _, _ = make_pair()
+        client.connect()
+        net.run_until(1.0)
+        server = state["server"]
+        assert client.state == ESTABLISHED
+        # both sides close in the same instant: FINs cross in flight
+        client.close()
+        server.close()
+        net.run_until(10.0)
+        assert client.state == CLOSED
+        assert server.state == CLOSED
+
+    def test_time_wait_expires(self):
+        net, client, state, _, _, _ = make_pair()
+        client.connect()
+        net.run_until(1.0)
+        server = state["server"]
+        client.close()
+        net.run_until(1.5)
+        server.close()
+        # client entered TIME_WAIT; after config.time_wait it fully closes
+        net.run_until(1.6)
+        assert client.state in (TIME_WAIT, CLOSED)
+        net.run_until(10.0)
+        assert client.state == CLOSED
+
+    def test_close_is_idempotent(self):
+        net, client, state, _, _, _ = make_pair()
+        client.connect()
+        net.run_until(1.0)
+        client.close()
+        client.close()
+        net.run_until(5.0)
+        assert client.state in (FIN_WAIT_2, CLOSED)
+
+    def test_ports_released_after_teardown(self):
+        net, client, state, _, client_host, server_host = make_pair()
+        client.on_connected = lambda c: c.close()
+        client.connect()
+        net.run_until(2.0)
+        state["server"].close()
+        net.run_until(10.0)
+        # the 4-tuple can be reused once both sides are CLOSED
+        fresh = TcpConnection(client_host, net.scheduler, client.local_port,
+                              server_host.ip, 80)
+        fresh.connect()
+        net.run_until(12.0)
+        assert fresh.state == ESTABLISHED
+
+
+class TestListener:
+    def test_accepts_multiple_connections(self):
+        net, client, state, listener, client_host, server_host = make_pair()
+        accepted = []
+        listener.on_accept = lambda conn: accepted.append(conn)
+        clients = []
+        for _ in range(5):
+            c = TcpConnection(client_host, net.scheduler,
+                              client_host.allocate_port(), server_host.ip, 80)
+            c.connect()
+            clients.append(c)
+        net.run_until(2.0)
+        assert len(accepted) == 5
+        assert all(c.state == ESTABLISHED for c in clients)
+        assert listener.accepted == 5
+
+    def test_closed_listener_ignores_syns(self):
+        net, client, state, listener, client_host, server_host = make_pair()
+        listener.close()
+        client.connect()
+        net.run_until(3.0)
+        assert client.state != ESTABLISHED
+
+    def test_custom_iss(self):
+        net, _client, state, _, client_host, server_host = make_pair()
+        client = TcpConnection(client_host, net.scheduler,
+                               client_host.allocate_port(), server_host.ip,
+                               80, config=TcpConfig(iss=1_000_000))
+        client.connect()
+        net.run_until(1.0)
+        assert client.state == ESTABLISHED
+        assert client.iss == 1_000_000
