@@ -1,0 +1,31 @@
+"""Benchmark: the fault-recovery extension experiment.
+
+Sweeps access-link outage duration against retry policy for a Netflix
+(native iPad) session: the stall watchdog detects the dead transfer,
+reconnects with exponential backoff, and resumes with an HTTP Range
+request — so the resuming policy re-downloads nothing, while the
+restarting policy pays for every byte received before the cut.
+"""
+
+from repro.experiments import ext_fault_recovery
+
+
+def test_bench_ext_fault_recovery(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: ext_fault_recovery.run(scale, seed=0), rounds=1, iterations=1)
+    show(result.report())
+    rows = {(r.outage_s, r.policy): r for r in result.rows}
+    assert len(rows) == 6  # 3 durations x 2 policies
+    # every faulted session recovers (no failures at these durations)
+    assert not any(r.failed for r in result.rows)
+    # Range resume never re-downloads; restarting wastes bytes once the
+    # outage is long enough to kill an in-flight transfer
+    assert all(r.wasted_mb == 0.0 for r in result.rows if r.policy == "resume")
+    longest = max(r.outage_s for r in result.rows)
+    assert rows[(longest, "restart")].retries > 0
+    assert rows[(longest, "restart")].wasted_mb > 0.0
+    # the longest outage starves playback; resuming recovers sooner than
+    # restarting the interrupted transfer from scratch
+    assert rows[(longest, "resume")].rebuffer_count >= 1
+    assert (rows[(longest, "resume")].recovery_s
+            <= rows[(longest, "restart")].recovery_s)

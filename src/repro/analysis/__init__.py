@@ -19,6 +19,15 @@ from .renditions import (
     detect_renditions,
 )
 from .report import bytes_human, format_cdf, format_table, mbps
+from .resilience import (
+    BlockMergingReport,
+    ResilienceAggregate,
+    ResilienceSummary,
+    aggregate_resilience,
+    quantify_block_merging,
+    recovery_time,
+    summarize_resilience,
+)
 from .session_analysis import SessionAnalysis, analyze_records, analyze_session
 from .stats import (
     Cdf,
@@ -59,6 +68,13 @@ __all__ = [
     "SessionAnalysis",
     "analyze_records",
     "analyze_session",
+    "ResilienceSummary",
+    "ResilienceAggregate",
+    "BlockMergingReport",
+    "summarize_resilience",
+    "aggregate_resilience",
+    "recovery_time",
+    "quantify_block_merging",
     "Cdf",
     "mean",
     "median",

@@ -23,10 +23,13 @@ Module              Paper content
 ``model_validation`` Section 6: Eqs (1)-(9) vs Monte-Carlo
 ``ext_loss_impact`` Extension: strategy impact on congestion losses
                     (the future work named in Section 8)
+``ext_fault_recovery`` Extension: outage duration x retry policy —
+                    stall detection, backoff reconnect, Range resume
 ==================  ==========================================
 """
 
 from . import (
+    ext_fault_recovery,
     ext_loss_impact,
     fig1,
     fig2,
@@ -63,6 +66,7 @@ ALL_EXPERIMENTS = {
     "table2": table2,
     "model_validation": model_validation,
     "ext_loss_impact": ext_loss_impact,
+    "ext_fault_recovery": ext_fault_recovery,
 }
 
 __all__ = [
@@ -76,6 +80,7 @@ __all__ = [
     "table1",
     "fig1",
     "ext_loss_impact",
+    "ext_fault_recovery",
     "table2",
     "fig2",
     "fig3",

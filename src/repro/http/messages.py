@@ -94,7 +94,8 @@ class HttpResponse:
                  headers: Optional[Headers] = None, version: str = "HTTP/1.1"):
         self.status = status
         self.reason = reason or {200: "OK", 206: "Partial Content",
-                                 404: "Not Found", 416: "Range Not Satisfiable"
+                                 404: "Not Found", 416: "Range Not Satisfiable",
+                                 503: "Service Unavailable",
                                  }.get(status, "")
         self.version = version
         self.headers = headers if headers is not None else Headers()

@@ -13,6 +13,15 @@ from .errors import (
     SchedulingError,
     SimulationError,
 )
+from .faults import (
+    BandwidthDegradation,
+    ConnectionReset,
+    FaultLog,
+    FaultSchedule,
+    LinkOutage,
+    RandomFlaps,
+    ServerOutage,
+)
 from .link import Link, LinkStats
 from .loss import (
     BernoulliLoss,
@@ -53,6 +62,13 @@ __all__ = [
     "Path",
     "TimeSeries",
     "PeriodicProbe",
+    "FaultSchedule",
+    "FaultLog",
+    "LinkOutage",
+    "BandwidthDegradation",
+    "ServerOutage",
+    "ConnectionReset",
+    "RandomFlaps",
     "LossModel",
     "NoLoss",
     "BernoulliLoss",

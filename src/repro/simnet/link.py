@@ -36,6 +36,7 @@ class LinkStats:
         "packets_delivered",
         "packets_lost",
         "packets_dropped_queue",
+        "packets_blackholed",
         "bytes_delivered",
     )
 
@@ -44,6 +45,7 @@ class LinkStats:
         self.packets_delivered = 0
         self.packets_lost = 0
         self.packets_dropped_queue = 0
+        self.packets_blackholed = 0
         self.bytes_delivered = 0
 
     def as_dict(self) -> dict:
@@ -74,15 +76,42 @@ class Link:
             raise ConfigurationError(f"buffer_bytes must be positive, got {buffer_bytes!r}")
         self.scheduler = scheduler
         self.rate_bps = float(rate_bps)
+        self.base_rate_bps = float(rate_bps)
         self.prop_delay = float(prop_delay)
         self.buffer_bytes = int(buffer_bytes)
         self.loss_model = loss_model if loss_model is not None else NoLoss()
         self.name = name
         self.deliver: Optional[DeliverFn] = None
         self.stats = LinkStats()
+        self.up = True
         self._busy_until = 0.0
         self._taps: List[TapFn] = []
         self._delivery_taps: List[TapFn] = []
+
+    # -- fault state --------------------------------------------------------
+
+    def set_up(self, up: bool) -> None:
+        """Bring the link up or down.  A down link blackholes every packet
+        handed to it (link outage / flap): the sender learns nothing, which
+        is exactly what TCP sees when a last-mile link dies."""
+        self.up = bool(up)
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the serialization rate (temporary bandwidth degradation)."""
+        if rate_bps <= 0:
+            raise ConfigurationError(f"rate_bps must be positive, got {rate_bps!r}")
+        self.rate_bps = float(rate_bps)
+
+    def reset(self) -> None:
+        """Restore fault-free initial state for reuse across runs.
+
+        Clears the loss model's internal state (burst position, packet
+        index), brings the link back up and restores the nominal rate, so
+        repeated sessions on one topology see identical loss processes.
+        """
+        self.loss_model.reset()
+        self.up = True
+        self.rate_bps = self.base_rate_bps
 
     # -- wiring -------------------------------------------------------------
 
@@ -125,6 +154,9 @@ class Link:
             raise ConfigurationError(f"link {self.name!r} has no delivery callback")
         now = self.scheduler.clock.now()
         self.stats.packets_in += 1
+        if not self.up:
+            self.stats.packets_blackholed += 1
+            return True  # swallowed by the outage; the sender cannot tell
         size = int(packet.wire_size)
         if self.backlog_bytes(now) + size > self.buffer_bytes:
             self.stats.packets_dropped_queue += 1

@@ -53,6 +53,10 @@ class Network:
         """Install ``path`` between hosts ``a`` (endpoint a) and ``b``."""
         if (a.ip, b.ip) in self._paths:
             raise ConfigurationError(f"path {a.ip!r}<->{b.ip!r} already exists")
+        # a path object may be reused across runs on one topology: clear any
+        # loss-model position / outage / degraded-rate state left behind so
+        # repeated sessions draw identical loss processes
+        path.reset()
         path.forward.connect(b.deliver_segment)
         path.reverse.connect(a.deliver_segment)
         self._paths[(a.ip, b.ip)] = (path, "a")

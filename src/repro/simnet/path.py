@@ -56,6 +56,11 @@ class Path:
             return self.reverse
         raise ValueError(f"endpoint must be 'a' or 'b', got {endpoint!r}")
 
+    def reset(self) -> None:
+        """Reset both directions' loss/fault state (see :meth:`Link.reset`)."""
+        self.forward.reset()
+        self.reverse.reset()
+
     @property
     def rtt_floor(self) -> float:
         """Two-way propagation delay, ignoring serialization and queueing."""

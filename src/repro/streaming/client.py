@@ -21,12 +21,19 @@ Each player reproduces the mechanism the paper infers for its application:
 All players share playback bookkeeping: playback starts once a couple of
 seconds of media are buffered, consumes bytes at the encoding rate, and the
 player buffer level is ``downloaded - consumed``.
+
+Resilience: every HTTP transfer is tracked as a :class:`TransferJob`, so a
+connection that dies (link outage, server RST, 503) surfaces as a failure
+instead of a silent hang.  With a :class:`~repro.streaming.params.
+RetryPolicy` attached, players additionally run a stall watchdog and
+recover by reconnecting with exponential backoff and resuming the transfer
+with an HTTP ``Range`` request from the last contiguous byte.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from ..simnet.node import Host
 from ..simnet.scheduler import EventHandle, EventScheduler
@@ -38,15 +45,64 @@ from .params import (
     IpadClientPolicy,
     NetflixClientPolicy,
     PullClientPolicy,
+    RetryPolicy,
 )
 from .server import video_path
 
 #: Seconds of media that must be buffered before playback begins.
 PLAYBACK_START_S = 2.0
 
+#: Seconds of media that must re-accumulate before a stalled player resumes.
+STALL_RESUME_S = 1.0
+
+#: Period of the per-player QoE monitor / stall watchdog.
+MONITOR_INTERVAL_S = 0.25
+
+
+class TransferJob:
+    """One logical HTTP transfer, surviving reconnects and Range resumes.
+
+    ``start``/``end`` are absolute byte offsets into the file (``end``
+    inclusive, ``None`` meaning to EOF); ``received`` accumulates across
+    connection attempts, so ``start + received`` is always the first byte
+    a resumed request must ask for.
+    """
+
+    __slots__ = ("path", "start", "end", "ranged", "received", "attempts",
+                 "done", "error_status", "on_data", "on_complete",
+                 "_segs_seen", "_last_activity")
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        start: int = 0,
+        end: Optional[int] = None,
+        ranged: bool = False,
+        on_data: Optional[Callable[[TcpConnection, HttpResponseStream], None]] = None,
+        on_complete: Optional[Callable[[TcpConnection], None]] = None,
+    ) -> None:
+        self.path = path
+        self.start = start
+        self.end = end
+        self.ranged = ranged or start > 0 or end is not None
+        self.received = 0
+        self.attempts = 0          # failed attempts so far
+        self.done = False
+        self.error_status: Optional[int] = None
+        self.on_data = on_data
+        self.on_complete = on_complete
+        self._segs_seen = 0        # watchdog: conn.stats.segments_received
+        self._last_activity = 0.0  # watchdog: last time progress was seen
+
+    @property
+    def next_offset(self) -> int:
+        """First byte the next (re)request should ask for."""
+        return self.start + self.received
+
 
 class PlayerBase:
-    """Shared machinery: connections, playback clock, interruption."""
+    """Shared machinery: connections, playback clock, interruption, QoE."""
 
     def __init__(
         self,
@@ -59,6 +115,7 @@ class PlayerBase:
         server_port: int = 80,
         recv_buffer: int = 512 * 1024,
         tcp_config: Optional[TcpConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.scheduler = scheduler
@@ -68,6 +125,7 @@ class PlayerBase:
         self.rng = rng
         self.recv_buffer = recv_buffer
         self.tcp_config = tcp_config
+        self.retry_policy = retry_policy
 
         self.downloaded = 0            # body bytes received, all connections
         self.playback_started_at: Optional[float] = None
@@ -79,6 +137,24 @@ class PlayerBase:
         self.connections_opened = 0
         self._timers: List[EventHandle] = []
 
+        # -- QoE / resilience accounting --------------------------------------
+        self.stall_events: List[Tuple[float, float]] = []
+        self.rebuffer_count = 0        # stalls that ended with playback resuming
+        self.retry_count = 0           # reconnect attempts actually made
+        self.startup_delay_s: Optional[float] = None
+        self.failed = False
+        self.fail_reason: Optional[str] = None
+        self.wasted_bytes = 0          # bytes re-downloaded by non-resuming restarts
+        self.downshifts: List[Tuple[float, float, float]] = []  # (t, old, new)
+        #: Hook invoked as ``on_conn_failed(player, conn, reason)`` whenever a
+        #: transfer-bearing connection dies before its response completed.
+        self.on_conn_failed: Optional[
+            Callable[["PlayerBase", TcpConnection, str], None]] = None
+        self._session_started_at: Optional[float] = None
+        self._stall_since: Optional[float] = None
+        self._consecutive_rebuffers = 0
+        self._monitor_started = False
+
     # -- playback ------------------------------------------------------------
 
     def _maybe_start_playback(self) -> None:
@@ -86,7 +162,10 @@ class PlayerBase:
             return
         threshold = PLAYBACK_START_S * self.playback_rate_bps / 8
         if self.downloaded >= threshold:
-            self.playback_started_at = self.scheduler.clock.now()
+            now = self.scheduler.clock.now()
+            self.playback_started_at = now
+            if self._session_started_at is not None:
+                self.startup_delay_s = now - self._session_started_at
 
     def consumed(self, now: Optional[float] = None) -> float:
         """Bytes of media the player has consumed by time ``now``.
@@ -112,6 +191,20 @@ class PlayerBase:
         """Seconds of the video watched so far."""
         return self.consumed(now) * 8 / self.playback_rate_bps
 
+    @property
+    def stall_time_s(self) -> float:
+        """Total seconds spent stalled (including a still-open stall)."""
+        total = sum(end - start for start, end in self.stall_events)
+        if self._stall_since is not None:
+            total += self.scheduler.clock.now() - self._stall_since
+        return total
+
+    def rebuffer_ratio(self, now: Optional[float] = None) -> float:
+        """Stall time as a fraction of (watch time + stall time)."""
+        stall = self.stall_time_s
+        denom = self.playback_position_s(now) + stall
+        return stall / denom if denom > 0 else 0.0
+
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> None:
@@ -121,15 +214,27 @@ class PlayerBase:
         """Abort the session (user interruption, Section 6.2)."""
         if self.stopped:
             return
-        self._frozen_consumed = self.consumed()
+        now = self.scheduler.clock.now()
+        self._frozen_consumed = self.consumed(now)
         self.stopped = True
         self.stop_reason = reason
+        if self._stall_since is not None:
+            self.stall_events.append((self._stall_since, now))
+            self._stall_since = None
         for timer in self._timers:
             timer.cancel()
         self._timers.clear()
         for conn in self.connections:
+            conn._job = None  # type: ignore[attr-defined]
+            conn.on_closed = None
             if not conn.fully_closed:
                 conn.abort()
+
+    def finalize_qoe(self, now: float) -> None:
+        """Close an open stall interval at the end of a capture."""
+        if not self.stopped and self._stall_since is not None:
+            self.stall_events.append((self._stall_since, now))
+            self._stall_since = None
 
     @property
     def finished(self) -> bool:
@@ -140,6 +245,89 @@ class PlayerBase:
     def expected_bytes(self) -> int:
         """Total body bytes this player intends to download."""
         return self.video.size_bytes
+
+    # -- QoE monitor / stall watchdog -------------------------------------------
+
+    def _ensure_monitor(self) -> None:
+        if self._monitor_started or self.stopped:
+            return
+        self._monitor_started = True
+        self._session_started_at = self.scheduler.clock.now()
+        self._schedule(MONITOR_INTERVAL_S, self._monitor_tick, "qoe:check")
+
+    def _monitor_tick(self) -> None:
+        if self.stopped:
+            return
+        now = self.scheduler.clock.now()
+        self._track_stalls(now)
+        if self.retry_policy is not None:
+            self._check_transfer_stalls(now)
+        if not self.finished:
+            self._schedule(MONITOR_INTERVAL_S, self._monitor_tick, "qoe:check")
+        elif self._stall_since is not None:
+            # the download completed while playback was starved; the stall
+            # ends here as far as accounting is concerned
+            self.stall_events.append((self._stall_since, now))
+            self._stall_since = None
+
+    def _track_stalls(self, now: float) -> None:
+        if self.playback_started_at is None:
+            return
+        buffer_bytes = self.buffer_level(now)
+        media_left = self.playback_position_s(now) < self.video.duration - 1e-9
+        if self._stall_since is None:
+            if buffer_bytes <= 0.0 and not self.finished and media_left:
+                # exact starvation instant: when the playback clock caught
+                # up with the bytes downloaded so far
+                start = (self.playback_started_at
+                         + self.downloaded * 8 / self.playback_rate_bps)
+                self._stall_since = min(max(start, self.playback_started_at), now)
+        else:
+            resume_bytes = STALL_RESUME_S * self.playback_rate_bps / 8
+            if buffer_bytes >= resume_bytes or self.finished:
+                self.stall_events.append((self._stall_since, now))
+                self._stall_since = None
+                self.rebuffer_count += 1
+                self._consecutive_rebuffers += 1
+                policy = self.retry_policy
+                if (policy is not None and policy.downshift_after > 0
+                        and self._consecutive_rebuffers >= policy.downshift_after):
+                    if self._downshift(now):
+                        self._consecutive_rebuffers = 0
+
+    def _downshift(self, now: float) -> bool:
+        """Switch to a lower rendition after repeated rebuffering.
+
+        Returns True if a switch happened; the base player is single-rate
+        and cannot degrade.
+        """
+        return False
+
+    def _check_transfer_stalls(self, now: float) -> None:
+        """Abort transfers that made no progress for ``stall_timeout`` seconds.
+
+        Progress is judged at the TCP level (segments received), and only
+        while our receive window is open: a full receive buffer during a
+        client-throttled OFF period is self-inflicted silence, not a stall.
+        """
+        policy = self.retry_policy
+        assert policy is not None
+        for conn in list(self.connections):
+            if conn.fully_closed:
+                continue
+            job: Optional[TransferJob] = getattr(conn, "_job", None)
+            if job is None or job.done:
+                continue
+            segs = conn.stats.segments_received
+            if segs != job._segs_seen:
+                job._segs_seen = segs
+                job._last_activity = now
+                continue
+            if conn.recvbuf.window < conn.config.mss:
+                job._last_activity = now
+                continue
+            if now - job._last_activity >= policy.stall_timeout:
+                self._handle_transfer_failure(conn, job, "stall-timeout")
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -156,19 +344,70 @@ class PlayerBase:
         self.downloaded += n
         self._maybe_start_playback()
 
+    def _on_job_body(self, job: TransferJob, n: int) -> None:
+        job.received += n
+        self._on_body(n)
+
+    def _on_job_response(self, job: TransferJob, response) -> None:
+        if response.status not in (200, 206):
+            job.error_status = response.status
+
+    def _on_job_complete(self, conn: TcpConnection, job: TransferJob) -> None:
+        if job.error_status is not None:
+            status = job.error_status
+            job.error_status = None
+            self._handle_transfer_failure(conn, job, f"http-{status}")
+            return
+        job.done = True
+        conn._job = None  # type: ignore[attr-defined]
+        if job.on_complete:
+            job.on_complete(conn)
+
+    def _attach_job(self, conn: TcpConnection, stream: HttpResponseStream,
+                    job: TransferJob) -> None:
+        conn._job = job  # type: ignore[attr-defined]
+        job._segs_seen = conn.stats.segments_received
+        job._last_activity = self.scheduler.clock.now()
+        stream.on_body_bytes = lambda n: self._on_job_body(job, n)
+        stream.on_response = lambda resp: self._on_job_response(job, resp)
+        stream.on_complete = lambda resp: self._on_job_complete(conn, job)
+
+    def _job_on_data(self, conn: TcpConnection) -> None:
+        stream: HttpResponseStream = conn.http_stream  # type: ignore[attr-defined]
+        job: Optional[TransferJob] = getattr(conn, "_job", None)
+        if job is not None and job.on_data is not None:
+            job.on_data(conn, stream)
+        else:
+            stream.take(conn, 1 << 62)
+
     def _open_connection(
         self,
         path: str,
         *,
-        range_header: Optional[str] = None,
+        range_start: Optional[int] = None,
+        range_end: Optional[int] = None,
         on_data: Optional[Callable[[TcpConnection, HttpResponseStream], None]] = None,
-        on_complete: Optional[Callable[[], None]] = None,
+        on_complete: Optional[Callable[[TcpConnection], None]] = None,
+        job: Optional[TransferJob] = None,
     ) -> TcpConnection:
         """Open a connection, send one GET, wire up response accounting.
 
         ``on_data`` decides how greedily the socket is drained; the default
-        reads everything immediately.
+        reads everything immediately.  ``on_complete`` receives the
+        connection the response finished on (which, after a reconnect, may
+        not be the one this call returned).  Passing ``job`` resumes an
+        existing transfer from its last contiguous byte.
         """
+        if job is None:
+            job = TransferJob(
+                path,
+                start=range_start if range_start is not None else 0,
+                end=range_end,
+                ranged=range_start is not None,
+                on_data=on_data,
+                on_complete=on_complete,
+            )
+        self._ensure_monitor()
         config = self.tcp_config or TcpConfig(recv_buffer=self.recv_buffer)
         conn = TcpConnection(
             self.host,
@@ -178,21 +417,17 @@ class PlayerBase:
             self.server_port,
             config=config,
         )
-        stream = HttpResponseStream(
-            on_body_bytes=self._on_body,
-            on_complete=(lambda resp: on_complete()) if on_complete else None,
-        )
+        stream = HttpResponseStream(on_body_bytes=lambda n: None)
         conn.http_stream = stream  # type: ignore[attr-defined]
-
-        if on_data is None:
-            conn.on_data = lambda c: stream.take(c, 1 << 62)
-        else:
-            conn.on_data = lambda c: on_data(c, stream)
+        self._attach_job(conn, stream, job)
+        conn.on_data = self._job_on_data
+        conn.on_closed = self._on_conn_closed
 
         def send_request(c: TcpConnection) -> None:
-            request = f"GET {path} HTTP/1.1\r\nHost: video.example\r\n"
-            if range_header:
-                request += f"Range: {range_header}\r\n"
+            request = f"GET {job.path} HTTP/1.1\r\nHost: video.example\r\n"
+            if job.ranged or job.received:
+                end = "" if job.end is None else job.end
+                request += f"Range: bytes={job.next_offset}-{end}\r\n"
             request += "\r\n"
             c.send(request.encode("ascii"))
 
@@ -202,14 +437,89 @@ class PlayerBase:
         conn.connect()
         return conn
 
-    def send_ranged_request(self, conn: TcpConnection, path: str,
-                            range_header: str) -> None:
-        """Issue a follow-up range request on an existing connection."""
+    def send_ranged_request(
+        self,
+        conn: Optional[TcpConnection],
+        path: str,
+        start: int,
+        end: int,
+        *,
+        on_data: Optional[Callable[[TcpConnection, HttpResponseStream], None]] = None,
+        on_complete: Optional[Callable[[TcpConnection], None]] = None,
+    ) -> TcpConnection:
+        """Issue a follow-up range request, reopening a dead connection.
+
+        Returns the connection the request went out on (the one given, or
+        a fresh one if it had already been torn down).
+        """
+        job = TransferJob(path, start=start, end=end, ranged=True,
+                          on_data=on_data, on_complete=on_complete)
+        if conn is None or conn.fully_closed:
+            return self._open_connection(path, job=job)
+        stream: HttpResponseStream = conn.http_stream  # type: ignore[attr-defined]
+        self._attach_job(conn, stream, job)
         request = (
             f"GET {path} HTTP/1.1\r\nHost: video.example\r\n"
-            f"Range: {range_header}\r\n\r\n"
+            f"Range: bytes={start}-{end}\r\n\r\n"
         )
         conn.send(request.encode("ascii"))
+        return conn
+
+    # -- failure handling --------------------------------------------------------
+
+    def _on_conn_closed(self, conn: TcpConnection, reason: str) -> None:
+        if self.stopped:
+            return
+        job: Optional[TransferJob] = getattr(conn, "_job", None)
+        if job is None:
+            return
+        # salvage in-order bytes still sitting in the receive buffer —
+        # they advance the resume offset (conn.recv works after teardown)
+        stream: HttpResponseStream = conn.http_stream  # type: ignore[attr-defined]
+        stream.take(conn, 1 << 62)
+        if job.done or getattr(conn, "_job", None) is None:
+            return  # the drain completed the response after all
+        self._handle_transfer_failure(conn, job, reason)
+
+    def _handle_transfer_failure(self, conn: TcpConnection, job: TransferJob,
+                                 reason: str) -> None:
+        if self.stopped or job.done:
+            return
+        conn._job = None  # type: ignore[attr-defined]
+        conn.on_closed = None
+        if not conn.fully_closed:
+            conn.abort()
+        job.attempts += 1
+        if self.on_conn_failed is not None:
+            self.on_conn_failed(self, conn, reason)
+        policy = self.retry_policy
+        if policy is None or job.attempts > policy.max_retries:
+            self._fail(reason)
+            return
+        if not policy.resume_with_range and job.received:
+            self.wasted_bytes += job.received
+            job.received = 0
+        self.retry_count += 1
+        delay = policy.backoff_delay(job.attempts - 1, self.rng)
+        self._schedule(delay, lambda: self._restart_job(job, conn),
+                       "retry:reconnect")
+
+    def _restart_job(self, job: TransferJob, old_conn: TcpConnection) -> None:
+        if self.stopped or job.done:
+            return
+        new_conn = self._open_connection(job.path, job=job)
+        self._on_transfer_restarted(job, old_conn, new_conn)
+
+    def _on_transfer_restarted(self, job: TransferJob, old_conn: TcpConnection,
+                               new_conn: TcpConnection) -> None:
+        """Hook for subclasses tracking a designated connection."""
+
+    def _fail(self, reason: str) -> None:
+        if self.stopped:
+            return
+        self.failed = True
+        self.fail_reason = reason
+        self.stop(reason=f"failed:{reason}")
 
 
 class GreedyPlayer(PlayerBase):
@@ -284,6 +594,10 @@ class PullPlayer(PlayerBase):
                 self._budget -= consumed
         self._schedule(self.policy.check_interval, self._check, "pull:check")
 
+    def _on_transfer_restarted(self, job, old_conn, new_conn) -> None:
+        if old_conn is self._conn:
+            self._conn = new_conn
+
     @property
     def expected_bytes(self) -> int:
         from ..http import CONTAINER_HEADER_LEN
@@ -351,13 +665,12 @@ class IpadPlayer(PlayerBase):
         self._next_offset = end + 1
         self._in_flight = True
         path = video_path(self.video.video_id, self.selected_rate)
-        header = f"bytes={start}-{end}"
 
-        def done(conn_holder=None) -> None:
+        def done(conn: TcpConnection) -> None:
             self._in_flight = False
-            if conn_holder is not None:
+            if self.multi_connection:
                 # one range per connection: close it once the body is in
-                conn_holder["conn"].close()
+                conn.close()
             # during buffering the next request follows immediately, so the
             # buffering phase is one contiguous transfer (Figure 7(a))
             if (not self.stopped
@@ -366,17 +679,12 @@ class IpadPlayer(PlayerBase):
                 self._request_next_block(buffering=True)
 
         if self.multi_connection:
-            holder = {}
             conn = self._open_connection(
-                path, range_header=header,
-                on_complete=lambda h=holder: done(h))
-            holder["conn"] = conn
+                path, range_start=start, range_end=end, on_complete=done)
             conn.on_peer_fin = lambda c: c.close()
-        elif self._persistent_conn is None:
-            self._persistent_conn = self._open_connection(
-                path, range_header=header, on_complete=done)
         else:
-            self.send_ranged_request(self._persistent_conn, path, header)
+            self._persistent_conn = self.send_ranged_request(
+                self._persistent_conn, path, start, end, on_complete=done)
 
     def _check(self) -> None:
         if self.stopped or self._next_offset >= self.file_size:
@@ -391,6 +699,28 @@ class IpadPlayer(PlayerBase):
                 if free >= block / self.policy.accumulation_ratio:
                     self._request_next_block(buffering=False)
         self._schedule(0.25, self._check, "ipad:check")
+
+    def _on_transfer_restarted(self, job, old_conn, new_conn) -> None:
+        if old_conn is self._persistent_conn:
+            self._persistent_conn = new_conn
+
+    def _downshift(self, now: float) -> bool:
+        lower = [r for r in self.video.all_rates if r < self.selected_rate]
+        if not lower:
+            return False
+        from ..http import CONTAINER_HEADER_LEN
+
+        old_rate = self.selected_rate
+        new_rate = max(lower)
+        # carry the fetch position over at the same *media time* in the
+        # smaller file of the new rendition
+        fraction = self._next_offset / self.file_size if self.file_size else 0.0
+        self.selected_rate = new_rate
+        self.playback_rate_bps = new_rate
+        self.file_size = CONTAINER_HEADER_LEN + self.video.size_bytes_at(new_rate)
+        self._next_offset = min(int(fraction * self.file_size), self.file_size)
+        self.downshifts.append((now, old_rate, new_rate))
+        return True
 
 
 class NetflixPlayer(PlayerBase):
@@ -431,22 +761,15 @@ class NetflixPlayer(PlayerBase):
         for rate in self.renditions:
             amount = int(self.policy.buffering_playback_s * rate / 8)
             path = video_path(self.video.video_id, rate)
-            holder = {}
 
-            def make_done(h=holder):
-                def done() -> None:
-                    h["conn"].close()
-                    self._buffering_conns_done += 1
-                    if self._buffering_conns_done == len(self.renditions):
-                        self._begin_steady_state()
-                return done
+            def done(conn: TcpConnection) -> None:
+                conn.close()
+                self._buffering_conns_done += 1
+                if self._buffering_conns_done == len(self.renditions):
+                    self._begin_steady_state()
 
             conn = self._open_connection(
-                path,
-                range_header=f"bytes=0-{amount - 1}",
-                on_complete=make_done(),
-            )
-            holder["conn"] = conn
+                path, range_start=0, range_end=amount - 1, on_complete=done)
             conn.on_peer_fin = lambda c: c.close()
         self._steady_offset = int(
             self.policy.buffering_playback_s * self.selected_rate / 8
@@ -482,22 +805,38 @@ class NetflixPlayer(PlayerBase):
         end = start + block - 1
         self._steady_offset = end + 1
         path = video_path(self.video.video_id, self.selected_rate)
-        header = f"bytes={start}-{end}"
         # request-clocked pacing: the next fetch fires one period after this
         # one was *issued*, which is what yields the target accumulation
         # ratio k = G / e in the steady state
         interval = block * 8 / (self.policy.accumulation_ratio * self.selected_rate)
-        if self.policy.new_connection_per_block or self._steady_conn is None:
-            holder = {}
+        if self.policy.new_connection_per_block:
             conn = self._open_connection(
-                path, range_header=header,
-                on_complete=(lambda: holder["conn"].close())
-                if self.policy.new_connection_per_block else None,
-            )
-            holder["conn"] = conn
+                path, range_start=start, range_end=end,
+                on_complete=lambda c: c.close())
             conn.on_peer_fin = lambda c: c.close()
-            if not self.policy.new_connection_per_block:
-                self._steady_conn = conn
         else:
-            self.send_ranged_request(self._steady_conn, path, header)
+            self._steady_conn = self.send_ranged_request(
+                self._steady_conn, path, start, end)
+            self._steady_conn.on_peer_fin = lambda c: c.close()
         self._schedule(interval, self._fetch_steady_block, "netflix:block")
+
+    def _on_transfer_restarted(self, job, old_conn, new_conn) -> None:
+        if old_conn is self._steady_conn:
+            self._steady_conn = new_conn
+
+    def _downshift(self, now: float) -> bool:
+        if not self._steady_started:
+            return False
+        lower = [r for r in self.video.all_rates if r < self.selected_rate]
+        if not lower:
+            return False
+        old_rate = self.selected_rate
+        new_rate = max(lower)
+        # keep media-time continuity: carry the steady-state fetch offset
+        # over at the same playback position in the new rendition
+        position_s = self._steady_offset * 8 / old_rate
+        self.selected_rate = new_rate
+        self.playback_rate_bps = new_rate
+        self._steady_offset = int(position_s * new_rate / 8)
+        self.downshifts.append((now, old_rate, new_rate))
+        return True

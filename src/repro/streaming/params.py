@@ -175,6 +175,67 @@ class NetflixClientPolicy:
         return max(fitting) if fitting else min(rates)
 
 
+# -- resilience ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a player reacts when a transfer dies mid-stream.
+
+    Detection: a connection with an incomplete transfer whose receive
+    window is open but which receives *no segments at all* for
+    ``stall_timeout`` seconds is declared dead and aborted (the window
+    check keeps deliberate client-side throttling — a full receive buffer
+    during an OFF period — from looking like a stall).
+
+    Recovery: up to ``max_retries`` reconnect attempts per transfer, with
+    exponential backoff (``backoff_base * backoff_factor**attempt``,
+    capped at ``backoff_max``, jittered by ±``backoff_jitter``).  With
+    ``resume_with_range`` the new request resumes from the last contiguous
+    byte via HTTP ``Range``; otherwise the whole transfer restarts and the
+    previously received bytes count as waste.
+
+    Degradation: after ``downshift_after`` consecutive rebuffer events the
+    adaptive players (Netflix, iPad) switch to the next lower rendition —
+    the Figure 11 multi-bitrate machinery reused for graceful degradation.
+    """
+
+    max_retries: int = 6
+    stall_timeout: float = 4.0
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 15.0
+    backoff_jitter: float = 0.3
+    resume_with_range: bool = True
+    downshift_after: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries!r}")
+        if self.stall_timeout <= 0:
+            raise ValueError(f"stall_timeout must be positive, got {self.stall_timeout!r}")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError(f"backoff_jitter must be in [0, 1), got {self.backoff_jitter!r}")
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        """Delay before reconnect attempt ``attempt`` (0-based), jittered."""
+        delay = min(self.backoff_base * self.backoff_factor ** attempt,
+                    self.backoff_max)
+        if self.backoff_jitter:
+            delay *= 1.0 + rng.uniform(-self.backoff_jitter, self.backoff_jitter)
+        return max(0.0, delay)
+
+
+#: Detect stalls and fail fast, but never reconnect: a dead connection
+#: cleanly *fails* the session instead of hanging it.
+NO_RETRY = RetryPolicy(max_retries=0)
+#: Bounded reconnects with Range resume — the resilient default.
+DEFAULT_RETRY = RetryPolicy()
+#: Reconnects but restarts each transfer from its first byte (quantifies
+#: what Range resume saves).
+RESTART_RETRY = RetryPolicy(resume_with_range=False)
+
+
 ClientPolicy = object  # union of the four policy dataclasses
 
 

@@ -18,7 +18,7 @@ resolution switching).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..http import (
     CONTAINER_HEADER_LEN,
@@ -97,7 +97,11 @@ class VideoServer:
         self.container_override = container_override
         self.requests_served = 0
         self.responses_404 = 0
+        self.responses_503 = 0
         self.connections_accepted = 0
+        self.connections_aborted = 0
+        self._unavailable_until: Optional[float] = None
+        self._open_conns: List[TcpConnection] = []
         self._listener = TcpListener(
             host, scheduler, port, self._on_accept, config=tcp_config
         )
@@ -105,19 +109,51 @@ class VideoServer:
     def close(self) -> None:
         self._listener.close()
 
+    # -- fault injection hooks ---------------------------------------------------
+
+    def set_unavailable(self, until: Optional[float]) -> None:
+        """Answer 503 Service Unavailable to every request until ``until``.
+
+        ``None`` restores service immediately.
+        """
+        self._unavailable_until = until
+
+    @property
+    def unavailable(self) -> bool:
+        return (self._unavailable_until is not None
+                and self.scheduler.clock.now() < self._unavailable_until)
+
+    def abort_connections(self) -> int:
+        """RST every open connection (process restart, LB failover).
+
+        Returns the number of connections aborted.
+        """
+        aborted = 0
+        for conn in list(self._open_conns):
+            if not conn.fully_closed:
+                conn.abort()
+                aborted += 1
+        self.connections_aborted += aborted
+        return aborted
+
     # -- connection handling --------------------------------------------------
 
     def _on_accept(self, conn: TcpConnection) -> None:
         self.connections_accepted += 1
+        self._open_conns.append(conn)
         state = {"buf": b"", "job": None}
         conn.on_data = lambda c: self._on_request_bytes(c, state)
-        conn.on_closed = lambda c, reason: self._on_conn_closed(state)
+        conn.on_closed = lambda c, reason: self._on_conn_closed(c, state)
 
-    def _on_conn_closed(self, state: dict) -> None:
+    def _on_conn_closed(self, conn: TcpConnection, state: dict) -> None:
         job = state.get("job")
         if job is not None and job.timer is not None:
             job.timer.cancel()
             job.timer = None
+        try:
+            self._open_conns.remove(conn)
+        except ValueError:
+            pass
 
     def _on_request_bytes(self, conn: TcpConnection, state: dict) -> None:
         state["buf"] += conn.recv(8192)
@@ -152,6 +188,13 @@ class VideoServer:
 
     def _handle_request(self, conn: TcpConnection, state: dict,
                         request: HttpRequest) -> None:
+        if self.unavailable:
+            self.responses_503 += 1
+            resp = HttpResponse(503)
+            resp.headers.set("Content-Length", "0")
+            conn.send(resp.serialize_head())
+            conn.close()
+            return
         try:
             video_id, rate = parse_video_path(request.path)
             video = self.videos[video_id]

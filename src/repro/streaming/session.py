@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..pcap import PacketRecord, TraceCapture
 from ..simnet import (
+    FaultLog,
+    FaultSchedule,
     Network,
     NetworkProfile,
     PeriodicProbe,
@@ -37,6 +39,7 @@ from .params import (
     IpadClientPolicy,
     NetflixClientPolicy,
     PullClientPolicy,
+    RetryPolicy,
     client_policy_for,
     server_policy_for,
 )
@@ -60,6 +63,8 @@ class SessionConfig:
     probe_period: Optional[float] = None    # sample player buffer if set
     server_reset_cwnd_after_idle: bool = False
     mss: int = 1460
+    retry_policy: Optional[RetryPolicy] = None  # None: no watchdog/retries
+    faults: Optional[FaultSchedule] = None      # armed against the access path
 
 
 @dataclass
@@ -81,6 +86,21 @@ class SessionResult:
     server_requests: int = 0
     playback_rate_bps: float = 0.0
     duration_simulated: float = 0.0
+    # -- resilience / QoE (populated by every run; non-default under faults) --
+    stall_events: List[Tuple[float, float]] = field(default_factory=list)
+    startup_delay_s: Optional[float] = None
+    rebuffer_count: int = 0
+    rebuffer_ratio: float = 0.0
+    retry_count: int = 0
+    failed: bool = False
+    fail_reason: Optional[str] = None
+    wasted_redownloaded_bytes: int = 0
+    downshifts: List[Tuple[float, float, float]] = field(default_factory=list)
+    fault_log: Optional[FaultLog] = None
+
+    @property
+    def stall_time_s(self) -> float:
+        return sum(end - start for start, end in self.stall_events)
 
     @property
     def client_ip(self) -> str:
@@ -111,9 +131,10 @@ def _make_player(
     application: Application,
     rng: random.Random,
     tcp_config: TcpConfig,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> PlayerBase:
     policy = client_policy_for(service, container, application)
-    kwargs = dict(rng=rng, tcp_config=tcp_config)
+    kwargs = dict(rng=rng, tcp_config=tcp_config, retry_policy=retry_policy)
     if isinstance(policy, GreedyClientPolicy):
         rate = video.encoding_rate_bps
         player = GreedyPlayer(client_host, net.scheduler, server_ip, video,
@@ -161,7 +182,12 @@ def run_session(video: Video, config: SessionConfig) -> SessionResult:
     client_tcp = TcpConfig(mss=config.mss, recv_buffer=policy.recv_buffer)
     player = _make_player(net, client_host, server_host.ip, video,
                           config.service, container, config.application,
-                          rng, client_tcp)
+                          rng, client_tcp, retry_policy=config.retry_policy)
+
+    fault_log: Optional[FaultLog] = None
+    if config.faults is not None:
+        fault_log = config.faults.apply(
+            net.scheduler, path, server=server, rng=net.rng.stream("faults"))
 
     buffer_series: Optional[TimeSeries] = None
     if config.probe_period:
@@ -188,6 +214,7 @@ def run_session(video: Video, config: SessionConfig) -> SessionResult:
 
     player.start()
     net.run_until(config.capture_duration)
+    player.finalize_qoe(net.now())
     capture.stop()
 
     return SessionResult(
@@ -198,13 +225,23 @@ def run_session(video: Video, config: SessionConfig) -> SessionResult:
         downloaded=player.downloaded,
         connections_opened=player.connections_opened,
         playback_position_s=player.playback_position_s(),
-        interrupted=player.stopped,
+        interrupted=player.stopped and not player.failed,
         player_finished=player.finished,
         capture=capture,
         buffer_series=buffer_series,
         server_requests=server.requests_served,
         playback_rate_bps=player.playback_rate_bps,
         duration_simulated=net.now(),
+        stall_events=list(player.stall_events),
+        startup_delay_s=player.startup_delay_s,
+        rebuffer_count=player.rebuffer_count,
+        rebuffer_ratio=player.rebuffer_ratio(net.now()),
+        retry_count=player.retry_count,
+        failed=player.failed,
+        fail_reason=player.fail_reason,
+        wasted_redownloaded_bytes=player.wasted_bytes,
+        downshifts=list(player.downshifts),
+        fault_log=fault_log,
     )
 
 

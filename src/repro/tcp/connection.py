@@ -27,6 +27,7 @@ from .constants import (
     DEFAULT_DELAYED_ACK,
     DEFAULT_DUPACK_THRESHOLD,
     DEFAULT_INIT_CWND_SEGMENTS,
+    DEFAULT_MAX_REXMIT,
     DEFAULT_MAX_RTO,
     DEFAULT_MIN_RTO,
     DEFAULT_MSS,
@@ -68,6 +69,12 @@ class TcpConfig:
     dupack_threshold: int = DEFAULT_DUPACK_THRESHOLD
     reset_cwnd_after_idle: bool = False
     time_wait: float = DEFAULT_TIME_WAIT
+    #: Give up after this many *consecutive* RTO retransmissions without any
+    #: forward progress and tear the connection down with reason
+    #: ``"timeout"`` (Linux's tcp_retries2 analogue).  ``None`` retries
+    #: forever.  With exponential backoff the default never fires on a
+    #: merely lossy path — only when the peer or the link is truly gone.
+    max_rexmit: Optional[int] = DEFAULT_MAX_REXMIT
     iss: int = 0
     #: Record (time, cwnd) samples on every segment sent — cheap congestion
     #: window instrumentation for analysis and teaching examples.
@@ -151,6 +158,7 @@ class TcpConnection:
         self._last_ack_seen = -1
         self._last_wnd_seen = -1
         self._rtt_probe: Optional[tuple] = None  # (ack_off_needed, sent_time)
+        self._rexmit_count = 0        # consecutive RTOs without progress
         self._last_activity = scheduler.clock.now()
 
         # receive side
@@ -452,6 +460,11 @@ class TcpConnection:
         self._rexmit_timer = None
         if not self._outstanding():
             return
+        self._rexmit_count += 1
+        if (self.config.max_rexmit is not None
+                and self._rexmit_count > self.config.max_rexmit):
+            self._teardown("timeout")
+            return
         self.rtt.backoff()
         self._rtt_probe = None
         if self.state == SYN_SENT:
@@ -589,6 +602,7 @@ class TcpConnection:
         self.recvbuf.set_rcv_nxt(0)
         self.snd_wnd = seg.window
         self._syn_acked = True
+        self._rexmit_count = 0
         if self._rtt_probe and self._rtt_probe[0] == "syn":
             self.rtt.sample(self.scheduler.clock.now() - self._rtt_probe[1])
             self._rtt_probe = None
@@ -617,6 +631,7 @@ class TcpConnection:
             return
         if seg.is_ack and seg.ack >= self.iss + 1:
             self._syn_acked = True
+            self._rexmit_count = 0
             if self._rtt_probe and self._rtt_probe[0] == "syn":
                 self.rtt.sample(self.scheduler.clock.now() - self._rtt_probe[1])
                 self._rtt_probe = None
@@ -715,6 +730,7 @@ class TcpConnection:
             self.snd_una_off = effective_ack
             self.stream.trim(self.snd_una_off)
             self._dupacks = 0
+            self._rexmit_count = 0
             self.rtt.reset_backoff()
             if self._rtt_probe and self._rtt_probe[0] != "syn":
                 probe_end, t0 = self._rtt_probe

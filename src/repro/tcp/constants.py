@@ -27,6 +27,7 @@ DEFAULT_MAX_RTO = 60.0             # seconds
 DEFAULT_DELAYED_ACK = 0.1          # seconds; delayed-ACK timer
 DEFAULT_DUPACK_THRESHOLD = 3       # fast-retransmit trigger
 DEFAULT_TIME_WAIT = 1.0            # seconds before releasing the 4-tuple
+DEFAULT_MAX_REXMIT = 15            # consecutive RTOs before giving up (tcp_retries2)
 
 # Wire sizes (Ethernet II + IPv4 + TCP, no options except on SYN).
 ETHERNET_HEADER = 14
