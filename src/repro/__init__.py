@@ -14,7 +14,10 @@ The package is organized bottom-up:
 - :mod:`repro.analysis` — the measurement methodology: flow reassembly,
   ON/OFF cycle detection, block sizes, accumulation ratios, ACK clocks.
 - :mod:`repro.model` — the Section-6 analytical model of aggregate traffic.
-- :mod:`repro.experiments` — one module per table/figure of the paper.
+- :mod:`repro.runner` — the session-execution engine: worker pool,
+  content-addressed result cache, (video, config, code) fingerprints.
+- :mod:`repro.experiments` — one module per table/figure of the paper,
+  behind an :class:`~repro.experiments.ExperimentSpec` registry.
 """
 
 __version__ = "1.0.0"

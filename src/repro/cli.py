@@ -8,13 +8,20 @@ Commands:
 * ``stream`` — simulate one streaming session and (optionally) write the
   capture as a pcap file.
 * ``experiment <name>`` — regenerate one of the paper's tables/figures.
-* ``list`` — show the available experiments, applications and networks.
+  ``--jobs N`` fans the independent sessions out over N worker processes
+  (output stays byte-identical to ``--jobs 1``); ``--cache-dir`` memoizes
+  completed sessions on disk so a rerun is nearly free; ``--no-cache``
+  force-disables caching even when ``$REPRO_CACHE_DIR`` is set.
+* ``list`` — show the available experiments (title and paper reference
+  from the registry), applications and networks.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import List, Optional
 
 
@@ -77,6 +84,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--scale", default="small",
                        choices=["small", "medium", "full"])
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent sessions (default 1; "
+             "output is byte-identical for any N)")
+    p_exp.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="memoize completed sessions under DIR "
+             "(default: $REPRO_CACHE_DIR if set, else no cache)")
+    p_exp.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if $REPRO_CACHE_DIR is set")
 
     sub.add_parser("list", help="show experiments, applications, networks")
     return parser
@@ -201,28 +219,75 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _resolve_cache(args):
+    """The result cache selected by ``--cache-dir``/``--no-cache``/env."""
+    from .runner import ResultCache
+
+    if args.no_cache:
+        return None
+    root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not root:
+        return None
+    return ResultCache(os.path.expanduser(root))
+
+
 def _cmd_experiment(args) -> int:
-    from .experiments import ALL_EXPERIMENTS, SCALES
+    from .analysis import format_table
+    from .experiments import REGISTRY, SCALES
+    from .runner import RunStats
 
     scale = SCALES[args.scale]
-    names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
-    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    names = list(REGISTRY) if args.name == "all" else [args.name]
+    unknown = [n for n in names if n not in REGISTRY]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
-              f"know {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+              f"know {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
+    cache = _resolve_cache(args)
+    summary = []
     for name in names:
-        result = ALL_EXPERIMENTS[name].run(scale, seed=args.seed)
+        spec = REGISTRY[name]
+        stats = RunStats()
+        started = time.perf_counter()
+        result = spec.run(scale, seed=args.seed, jobs=args.jobs,
+                          cache=cache, stats=stats)
+        elapsed = time.perf_counter() - started
         print(result.report())
         print()
+        summary.append((spec, elapsed, stats))
+    if len(summary) > 1:
+        rows = [
+            (spec.name, spec.paper, f"{elapsed:.1f}", stats.sessions,
+             stats.cache_hits, stats.cache_misses)
+            for spec, elapsed, stats in summary
+        ]
+        print(format_table(
+            ["Experiment", "Paper", "Wall(s)", "Units", "Hits", "Misses"],
+            rows,
+            title=f"Campaign summary — scale={scale.name} jobs={args.jobs} "
+                  f"cache={'on' if cache else 'off'}",
+        ))
+        total_s = sum(elapsed for _, elapsed, _ in summary)
+        units = sum(stats.sessions for _, _, stats in summary)
+        hits = sum(stats.cache_hits for _, _, stats in summary)
+        misses = sum(stats.cache_misses for _, _, stats in summary)
+        print(f"total: {units} units (hits {hits}, misses {misses}) "
+              f"in {total_s:.1f}s")
     return 0
 
 
 def _cmd_list() -> int:
-    from .experiments import ALL_EXPERIMENTS
+    from .analysis import format_table
+    from .experiments import REGISTRY
     from .simnet import PROFILES
 
-    print("experiments :", ", ".join(ALL_EXPERIMENTS))
+    rows = [
+        (spec.name, spec.paper, spec.title, ", ".join(spec.tags))
+        for spec in REGISTRY.values()
+    ]
+    print(format_table(["Experiment", "Paper", "Title", "Tags"], rows,
+                       title="Experiments"))
+    print()
     print("networks    :", ", ".join(PROFILES))
     print("applications:", ", ".join(_APPLICATIONS))
     print("containers  :", ", ".join(_CONTAINERS))

@@ -5,6 +5,14 @@ result renders itself through ``report()``.  ``Scale`` trades fidelity for
 runtime: ``SMALL`` (the default used by tests and benchmarks) streams a few
 videos per cell with shortened captures; ``FULL`` approaches the paper's
 session counts and the full 180 s captures.
+
+Experiments do not stream sessions in hand-rolled serial loops; they build
+:class:`~repro.runner.SessionPlan` batches and hand them to
+:func:`run_sessions` (re-exported here from :mod:`repro.runner`), which
+fans them out over a worker pool and memoizes completed results in a
+content-addressed cache.  Parallelism and caching are ambient — installed
+by the CLI or a test via :func:`~repro.runner.engine_options` — so
+experiment code stays a pure description of *what* to measure.
 """
 
 from __future__ import annotations
@@ -13,9 +21,25 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..runner import RunStats, SessionPlan, engine_options, run_sessions, run_tasks
 from ..simnet.rng import derive_seed
 from ..workloads.catalog import Catalog
 from ..workloads.video import Video
+
+__all__ = [
+    "FULL",
+    "MB",
+    "MEDIUM",
+    "RunStats",
+    "SCALES",
+    "SMALL",
+    "Scale",
+    "SessionPlan",
+    "engine_options",
+    "pick_videos",
+    "run_sessions",
+    "run_tasks",
+]
 
 MB = 1024 * 1024
 

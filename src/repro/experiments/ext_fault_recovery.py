@@ -27,10 +27,9 @@ from ..streaming import (
     Service,
     SessionConfig,
     SessionResult,
-    run_session,
 )
 from ..workloads import MBPS, Video
-from .common import SMALL, Scale
+from .common import SMALL, Scale, SessionPlan, run_sessions
 
 #: The access link, without its background random loss: the injected
 #: outage is the only perturbation, so every row difference is the fault.
@@ -115,10 +114,10 @@ class FaultRecoveryResult:
         )
 
 
-def _session(video: Video, capture: float, seed: int,
-             retry_policy: Optional[RetryPolicy],
-             faults: Optional[FaultSchedule]) -> SessionResult:
-    config = SessionConfig(
+def _plan(video: Video, capture: float, seed: int,
+          retry_policy: Optional[RetryPolicy],
+          faults: Optional[FaultSchedule]) -> SessionPlan:
+    return SessionPlan(video, SessionConfig(
         profile=PROFILE,
         service=Service.NETFLIX,
         application=Application.IOS,
@@ -126,38 +125,42 @@ def _session(video: Video, capture: float, seed: int,
         seed=seed,
         retry_policy=retry_policy,
         faults=faults,
-    )
-    return run_session(video, config)
+    ))
 
 
 def run(scale: Scale = SMALL, seed: int = 0) -> FaultRecoveryResult:
     video = _test_video()
     capture = scale.capture_duration
-    clean = _session(video, capture, derive_seed(seed, "clean"),
-                     DEFAULT_RETRY, None)
+    sweep = [(duration, name, policy)
+             for duration in OUTAGE_DURATIONS_S
+             for name, policy in POLICIES]
+    plans = [_plan(video, capture, derive_seed(seed, "clean"),
+                   DEFAULT_RETRY, None)]
+    plans += [
+        _plan(video, capture, derive_seed(seed, f"{name}:{duration}"),
+              policy, FaultSchedule().outage(OUTAGE_AT_S, duration))
+        for duration, name, policy in sweep
+    ]
+    results = run_sessions(plans)
+    clean = results[0]
 
     rows: List[FaultRecoveryRow] = []
     worst: Optional[SessionResult] = None
-    for duration in OUTAGE_DURATIONS_S:
-        for name, policy in POLICIES:
-            faults = FaultSchedule().outage(OUTAGE_AT_S, duration)
-            result = _session(video, capture,
-                              derive_seed(seed, f"{name}:{duration}"),
-                              policy, faults)
-            rows.append(FaultRecoveryRow(
-                outage_s=duration,
-                policy=name,
-                completed=(not result.failed
-                           and result.downloaded >= 0.99 * clean.downloaded),
-                failed=result.failed,
-                rebuffer_count=result.rebuffer_count,
-                rebuffer_ratio=result.rebuffer_ratio,
-                recovery_s=recovery_time(result),
-                retries=result.retry_count,
-                wasted_mb=result.wasted_redownloaded_bytes / 1e6,
-            ))
-            if name == "resume" and duration == max(OUTAGE_DURATIONS_S):
-                worst = result
+    for (duration, name, _policy), result in zip(sweep, results[1:]):
+        rows.append(FaultRecoveryRow(
+            outage_s=duration,
+            policy=name,
+            completed=(not result.failed
+                       and result.downloaded >= 0.99 * clean.downloaded),
+            failed=result.failed,
+            rebuffer_count=result.rebuffer_count,
+            rebuffer_ratio=result.rebuffer_ratio,
+            recovery_s=recovery_time(result),
+            retries=result.retry_count,
+            wasted_mb=result.wasted_redownloaded_bytes / 1e6,
+        ))
+        if name == "resume" and duration == max(OUTAGE_DURATIONS_S):
+            worst = result
 
     merging = quantify_block_merging(clean, worst) if worst is not None else None
     return FaultRecoveryResult(

@@ -38,7 +38,7 @@ from ..streaming.params import (
 )
 from ..tcp import TcpConfig
 from ..workloads import MBPS, Video
-from .common import MB, SMALL, Scale
+from .common import MB, SMALL, Scale, run_tasks
 
 #: A moderately sized shared bottleneck: enough for the aggregate average
 #: rate, not for synchronized bursts.
@@ -174,9 +174,11 @@ def _run_cohort(strategy: StreamingStrategy, n_sessions: int,
 def run(scale: Scale = SMALL, seed: int = 0,
         n_sessions: int = 10) -> LossImpactResult:
     capture = max(180.0, scale.capture_duration)
-    rows = [
-        _run_cohort(StreamingStrategy.NO_ONOFF, n_sessions, capture, seed),
-        _run_cohort(StreamingStrategy.SHORT_ONOFF, n_sessions, capture, seed),
-        _run_cohort(StreamingStrategy.LONG_ONOFF, n_sessions, capture, seed),
-    ]
+    # a cohort shares one bottleneck, so the unit of fan-out is the whole
+    # cohort (run_tasks), not the individual session
+    rows = run_tasks(_run_cohort, [
+        (StreamingStrategy.NO_ONOFF, n_sessions, capture, seed),
+        (StreamingStrategy.SHORT_ONOFF, n_sessions, capture, seed),
+        (StreamingStrategy.LONG_ONOFF, n_sessions, capture, seed),
+    ])
     return LossImpactResult(rows, BOTTLENECK)

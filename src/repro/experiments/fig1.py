@@ -20,10 +20,9 @@ from ..streaming import (
     Container,
     Service,
     SessionConfig,
-    run_session,
 )
 from ..workloads import MBPS, Video
-from .common import SMALL, Scale
+from .common import SMALL, Scale, SessionPlan, run_sessions
 
 KB = 1024
 
@@ -94,7 +93,7 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Fig1Result:
         application=Application.FIREFOX, container=Container.FLASH,
         capture_duration=min(60.0, scale.capture_duration), seed=seed,
     )
-    result = run_session(video, config)
+    result = run_sessions([SessionPlan(video, config)])[0]
     analysis = analyze_session(result)
     phases = analysis.phases
     onoff = analysis.onoff

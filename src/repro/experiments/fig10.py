@@ -16,10 +16,9 @@ from ..streaming import (
     Service,
     SessionConfig,
     StreamingStrategy,
-    run_session,
 )
 from ..workloads import make_netpc
-from .common import MB, SMALL, Scale, pick_videos
+from .common import MB, SMALL, Scale, SessionPlan, pick_videos, run_sessions
 
 
 @dataclass
@@ -64,16 +63,20 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Fig10Result:
         ("iPad Acad.", Application.IOS),
         ("Android Acad.", Application.ANDROID),
     ]
-    traces = []
-    for label, application in cases:
-        config = SessionConfig(
+    plans = [
+        SessionPlan(video, SessionConfig(
             profile=ACADEMIC,
             service=Service.NETFLIX,
             application=application,
             capture_duration=scale.capture_duration,
             seed=seed,
-        )
-        result = run_session(video, config)
+        ))
+        for _label, application in cases
+    ]
+    results = run_sessions(plans)
+
+    traces = []
+    for (label, _application), result in zip(cases, results):
         analysis = analyze_session(result, use_true_rate=True)
         blocks = analysis.block_sizes
         offs = analysis.onoff.off_durations()

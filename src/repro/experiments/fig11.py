@@ -12,9 +12,9 @@ from typing import List
 
 from ..analysis import Cdf, analyze_session, format_table
 from ..simnet import ACADEMIC, HOME, NetworkProfile
-from ..streaming import Application, Service, SessionConfig, run_session
+from ..streaming import Application, Service, SessionConfig
 from ..workloads import make_netmob, make_netpc
-from .common import MB, SMALL, Scale, pick_videos
+from .common import MB, SMALL, Scale, SessionPlan, pick_videos, run_sessions
 
 
 @dataclass
@@ -57,21 +57,26 @@ class Fig11Result:
         )
 
 
-def _series(label: str, videos, profile: NetworkProfile,
-            application: Application, scale: Scale, seed: int) -> Fig11Series:
-    from ..analysis import detect_renditions
-
-    amounts = []
-    renditions = []
-    for i, video in enumerate(videos):
-        config = SessionConfig(
+def _series_plans(videos, profile: NetworkProfile,
+                  application: Application, scale: Scale, seed: int):
+    return [
+        SessionPlan(video, SessionConfig(
             profile=profile,
             service=Service.NETFLIX,
             application=application,
             capture_duration=scale.capture_duration,
             seed=seed + 5 * i,
-        )
-        result = run_session(video, config)
+        ))
+        for i, video in enumerate(videos)
+    ]
+
+
+def _series(label: str, videos, results) -> Fig11Series:
+    from ..analysis import detect_renditions
+
+    amounts = []
+    renditions = []
+    for video, result in zip(videos, results):
         analysis = analyze_session(result, use_true_rate=True)
         amounts.append(float(analysis.buffering_bytes))
         renditions.append(
@@ -86,12 +91,17 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Fig11Result:
     n = max(3, scale.sessions_per_cell // 2)
     pc_videos = pick_videos(netpc, n, seed, min_duration=1800.0)
     mob_videos = pick_videos(netmob, n, seed, min_duration=1800.0)
+    cases = [
+        ("PC Acad.", pc_videos, ACADEMIC, Application.FIREFOX),
+        ("PC Home", pc_videos, HOME, Application.FIREFOX),
+        ("iPad Acad.", mob_videos, ACADEMIC, Application.IOS),
+        ("Android Acad.", mob_videos, ACADEMIC, Application.ANDROID),
+    ]
+    plans = []
+    for _label, videos, profile, application in cases:
+        plans.extend(_series_plans(videos, profile, application, scale, seed))
+    results = iter(run_sessions(plans))
     return Fig11Result([
-        _series("PC Acad.", pc_videos, ACADEMIC, Application.FIREFOX,
-                scale, seed),
-        _series("PC Home", pc_videos, HOME, Application.FIREFOX, scale, seed),
-        _series("iPad Acad.", mob_videos, ACADEMIC, Application.IOS,
-                scale, seed),
-        _series("Android Acad.", mob_videos, ACADEMIC, Application.ANDROID,
-                scale, seed),
+        _series(label, videos, [next(results) for _ in videos])
+        for label, videos, _profile, _application in cases
     ])

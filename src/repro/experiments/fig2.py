@@ -20,10 +20,9 @@ from ..streaming import (
     Container,
     Service,
     SessionConfig,
-    run_session,
 )
 from ..workloads import MBPS, Video
-from .common import SMALL, Scale
+from .common import SMALL, Scale, SessionPlan, run_sessions
 
 KB = 1024
 
@@ -60,8 +59,8 @@ class Fig2Result:
         return "\n".join(lines)
 
 
-def _trace(video: Video, container: Container, duration: float,
-           seed: int) -> Fig2Trace:
+def _plan(video: Video, container: Container, duration: float,
+          seed: int) -> SessionPlan:
     config = SessionConfig(
         profile=RESEARCH,
         service=Service.YOUTUBE,
@@ -70,7 +69,10 @@ def _trace(video: Video, container: Container, duration: float,
         capture_duration=duration,
         seed=seed,
     )
-    result = run_session(video, config)
+    return SessionPlan(video, config)
+
+
+def _trace(result, container: Container) -> Fig2Trace:
     analysis = analyze_session(result, use_true_rate=True)
     windows = analysis.trace.window_series
     steady = windows.values[len(windows) // 2:] or [0.0]
@@ -95,7 +97,11 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Fig2Result:
         video_id="fig2-html5", duration=400.0, encoding_rate_bps=2.0 * MBPS,
         resolution="360p", container="webm",
     )
+    flash_result, html5_result = run_sessions([
+        _plan(flash_video, Container.FLASH, duration, seed),
+        _plan(html5_video, Container.HTML5, duration, seed),
+    ])
     return Fig2Result(
-        flash=_trace(flash_video, Container.FLASH, duration, seed),
-        html5=_trace(html5_video, Container.HTML5, duration, seed),
+        flash=_trace(flash_result, Container.FLASH),
+        html5=_trace(html5_result, Container.HTML5),
     )

@@ -22,10 +22,9 @@ from ..streaming import (
     Container,
     Service,
     SessionConfig,
-    run_session,
 )
 from ..workloads import make_dataset
-from .common import MB, SMALL, Scale, pick_videos
+from .common import MB, SMALL, Scale, SessionPlan, pick_videos, run_sessions
 
 
 @dataclass
@@ -89,23 +88,46 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Fig3Result:
     flash_videos = pick_videos(flash_catalog, scale.sessions_per_cell, seed,
                                min_duration=150.0)
 
+    html_catalog = make_dataset("YouHtml", seed=seed,
+                                scale=max(0.05, scale.catalog_scale))
+    html_videos = pick_videos(html_catalog, scale.sessions_per_cell, seed,
+                              min_size_bytes=30 * MB, max_size_bytes=250 * MB)
+
+    # one batch: 4 networks x Flash videos, then the HTML5/IE sessions
+    plans = [
+        SessionPlan(video, SessionConfig(
+            profile=get_profile(name),
+            service=Service.YOUTUBE,
+            application=Application.FIREFOX,
+            container=Container.FLASH,
+            capture_duration=scale.capture_duration,
+            seed=seed + i,
+        ))
+        for name in PROFILE_ORDER
+        for i, video in enumerate(flash_videos)
+    ] + [
+        SessionPlan(video, SessionConfig(
+            profile=get_profile("Research"),
+            service=Service.YOUTUBE,
+            application=Application.INTERNET_EXPLORER,
+            container=Container.HTML5,
+            capture_duration=scale.capture_duration,
+            seed=seed + i,
+        ))
+        for i, video in enumerate(html_videos)
+    ]
+    results = run_sessions(plans)
+
     networks = []
-    for name in PROFILE_ORDER:
-        profile = get_profile(name)
+    per_network = len(flash_videos)
+    for n, name in enumerate(PROFILE_ORDER):
         playback_times: List[float] = []
         rates: List[float] = []
         amounts: List[float] = []
         retx: List[float] = []
-        for i, video in enumerate(flash_videos):
-            config = SessionConfig(
-                profile=profile,
-                service=Service.YOUTUBE,
-                application=Application.FIREFOX,
-                container=Container.FLASH,
-                capture_duration=scale.capture_duration,
-                seed=seed + i,
-            )
-            result = run_session(video, config)
+        for video, result in zip(
+                flash_videos,
+                results[n * per_network:(n + 1) * per_network]):
             analysis = analyze_session(result)  # rate from the FLV header
             if analysis.buffering_playback_s is None:
                 continue
@@ -124,21 +146,9 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Fig3Result:
             )
         )
 
-    html_catalog = make_dataset("YouHtml", seed=seed,
-                                scale=max(0.05, scale.catalog_scale))
-    html_videos = pick_videos(html_catalog, scale.sessions_per_cell, seed,
-                              min_size_bytes=30 * MB, max_size_bytes=250 * MB)
     points: List[Fig3bPoint] = []
-    for i, video in enumerate(html_videos):
-        config = SessionConfig(
-            profile=get_profile("Research"),
-            service=Service.YOUTUBE,
-            application=Application.INTERNET_EXPLORER,
-            container=Container.HTML5,
-            capture_duration=scale.capture_duration,
-            seed=seed + i,
-        )
-        result = run_session(video, config)
+    for video, result in zip(html_videos,
+                             results[len(PROFILE_ORDER) * per_network:]):
         analysis = analyze_session(result, use_true_rate=True)
         points.append(Fig3bPoint(video.encoding_rate_bps,
                                  float(analysis.buffering_bytes)))

@@ -26,10 +26,9 @@ from ..streaming import (
     Container,
     Service,
     SessionConfig,
-    run_session,
 )
 from ..workloads import make_dataset
-from .common import SMALL, Scale, pick_videos
+from .common import SMALL, Scale, SessionPlan, pick_videos, run_sessions
 
 KB = 1024
 
@@ -84,22 +83,26 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Fig4Result:
                            scale=max(0.02, scale.catalog_scale))
     videos = pick_videos(catalog, scale.sessions_per_cell, seed,
                          min_duration=150.0)
+    plans = [
+        SessionPlan(video, SessionConfig(
+            profile=get_profile(name),
+            service=Service.YOUTUBE,
+            application=Application.CHROME,
+            container=Container.FLASH,
+            capture_duration=scale.capture_duration,
+            seed=seed + 31 * i,
+        ))
+        for name in PROFILE_ORDER
+        for i, video in enumerate(videos)
+    ]
+    results = iter(run_sessions(plans))
+
     networks = []
     for name in PROFILE_ORDER:
-        profile = get_profile(name)
         blocks: List[int] = []
         ratios: List[float] = []
-        for i, video in enumerate(videos):
-            config = SessionConfig(
-                profile=profile,
-                service=Service.YOUTUBE,
-                application=Application.CHROME,
-                container=Container.FLASH,
-                capture_duration=scale.capture_duration,
-                seed=seed + 31 * i,
-            )
-            result = run_session(video, config)
-            analysis = analyze_session(result)
+        for _video in videos:
+            analysis = analyze_session(next(results))
             blocks.extend(analysis.block_sizes)
             ratio = analysis.accumulation_ratio
             if ratio is not None:

@@ -26,10 +26,9 @@ from ..streaming import (
     Container,
     Service,
     SessionConfig,
-    run_session,
 )
 from ..workloads import make_dataset
-from .common import MB, SMALL, Scale, pick_videos
+from .common import MB, SMALL, Scale, SessionPlan, pick_videos, run_sessions
 
 KB = 1024
 
@@ -87,23 +86,27 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Fig5Result:
                            scale=max(0.05, scale.catalog_scale))
     videos = pick_videos(catalog, scale.sessions_per_cell, seed,
                          min_size_bytes=30 * MB, max_size_bytes=250 * MB)
+    plans = [
+        SessionPlan(video, SessionConfig(
+            profile=get_profile(name),
+            service=Service.YOUTUBE,
+            application=Application.INTERNET_EXPLORER,
+            container=Container.HTML5,
+            capture_duration=scale.capture_duration,
+            seed=seed + 17 * i,
+        ))
+        for name in PROFILE_ORDER
+        for i, video in enumerate(videos)
+    ]
+    results = iter(run_sessions(plans))
+
     networks = []
     for name in PROFILE_ORDER:
-        profile = get_profile(name)
         blocks: List[int] = []
         ratios: List[float] = []
-        for i, video in enumerate(videos):
-            config = SessionConfig(
-                profile=profile,
-                service=Service.YOUTUBE,
-                application=Application.INTERNET_EXPLORER,
-                container=Container.HTML5,
-                capture_duration=scale.capture_duration,
-                seed=seed + 17 * i,
-            )
-            result = run_session(video, config)
+        for _video in videos:
             # the paper estimates the rate from Content-Length / duration
-            analysis = analyze_session(result)
+            analysis = analyze_session(next(results))
             blocks.extend(analysis.block_sizes)
             ratio = analysis.accumulation_ratio
             if ratio is not None:

@@ -21,10 +21,9 @@ from ..streaming import (
     Service,
     SessionConfig,
     StreamingStrategy,
-    run_session,
 )
 from ..workloads import make_dataset
-from .common import MB, SMALL, Scale, pick_videos
+from .common import MB, SMALL, Scale, SessionPlan, pick_videos, run_sessions
 
 
 @dataclass
@@ -72,19 +71,24 @@ class Fig6Result:
         return head + "\n\n" + table
 
 
-def _sessions(videos, profile, application, scale, seed):
-    blocks: List[int] = []
-    max_off = 0.0
-    for i, video in enumerate(videos):
-        config = SessionConfig(
+def _cohort_plans(videos, profile, application, scale, seed):
+    return [
+        SessionPlan(video, SessionConfig(
             profile=profile,
             service=Service.YOUTUBE,
             application=application,
             container=Container.HTML5,
             capture_duration=scale.capture_duration,
             seed=seed + 7 * i,
-        )
-        result = run_session(video, config)
+        ))
+        for i, video in enumerate(videos)
+    ]
+
+
+def _collect(results):
+    blocks: List[int] = []
+    max_off = 0.0
+    for result in results:
         analysis = analyze_session(result, use_true_rate=True)
         blocks.extend(analysis.block_sizes)
         offs = analysis.onoff.off_durations()
@@ -121,19 +125,31 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Fig6Result:
         capture_duration=max(240.0, scale.capture_duration),
         seed=seed,
     )
-    rep_result = run_session(rep_video, rep_config)
-    rep = analyze_session(rep_result, use_true_rate=True)
+    cohorts = [
+        ("Rsrch. (Cr)" if name == "Research" else name,
+         _cohort_plans(html_videos, get_profile(name), Application.CHROME,
+                       scale, seed))
+        for name in PROFILE_ORDER
+    ]
+    cohorts.append(
+        ("Rsrch. (And.)",
+         _cohort_plans(mob_videos, get_profile("Research"),
+                       Application.ANDROID, scale, seed)))
+
+    plans = [SessionPlan(rep_video, rep_config)]
+    for _label, cohort in cohorts:
+        plans.extend(cohort)
+    results = run_sessions(plans)
+
+    rep = analyze_session(results[0], use_true_rate=True)
     rep_offs = rep.onoff.off_durations()
 
     series: List[Fig6Series] = []
-    for name in PROFILE_ORDER:
-        label = "Rsrch. (Cr)" if name == "Research" else name
-        blocks, max_off = _sessions(html_videos, get_profile(name),
-                                    Application.CHROME, scale, seed)
+    cursor = 1
+    for label, cohort in cohorts:
+        blocks, max_off = _collect(results[cursor:cursor + len(cohort)])
         series.append(Fig6Series(label, blocks, max_off))
-    blocks, max_off = _sessions(mob_videos, get_profile("Research"),
-                                Application.ANDROID, scale, seed)
-    series.append(Fig6Series("Rsrch. (And.)", blocks, max_off))
+        cursor += len(cohort)
 
     return Fig6Result(
         trace_download=rep.trace.cumulative_series(),

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from ..analysis import analyze_session, correlation, format_table, mean
+from ..analysis import analyze_session, correlation, format_table
 from ..simnet import RESEARCH, TimeSeries
 from ..streaming import (
     Application,
@@ -23,10 +23,9 @@ from ..streaming import (
     Service,
     SessionConfig,
     StreamingStrategy,
-    run_session,
 )
 from ..workloads import MBPS, Video, make_dataset
-from .common import MB, SMALL, Scale, pick_videos
+from .common import MB, SMALL, Scale, SessionPlan, pick_videos, run_sessions
 
 
 @dataclass
@@ -80,16 +79,18 @@ class Fig7Result:
         )
 
 
-def _stream(video: Video, scale: Scale, seed: int) -> Tuple[Fig7Video, float]:
-    config = SessionConfig(
+def _ipad_plan(video: Video, scale: Scale, seed: int) -> SessionPlan:
+    return SessionPlan(video, SessionConfig(
         profile=RESEARCH,
         service=Service.YOUTUBE,
         application=Application.IOS,
         container=Container.HTML5,
         capture_duration=scale.capture_duration,
         seed=seed,
-    )
-    result = run_session(video, config)
+    ))
+
+
+def _trace(video: Video, result) -> Fig7Video:
     analysis = analyze_session(result, use_true_rate=True)
     blocks = analysis.block_sizes
     # connections opened in the first minute: SYNs from the client
@@ -97,7 +98,7 @@ def _stream(video: Video, scale: Scale, seed: int) -> Tuple[Fig7Video, float]:
             if r.is_syn and r.src_ip == result.client_ip]
     first_minute = sum(1 for r in syns if r.timestamp <= 60.0)
     label = "Video1" if video.encoding_rate_bps >= 1e6 else "Video2"
-    trace = Fig7Video(
+    return Fig7Video(
         label=label,
         encoding_rate_bps=video.encoding_rate_bps,
         connections=result.connections_opened,
@@ -106,7 +107,6 @@ def _stream(video: Video, scale: Scale, seed: int) -> Tuple[Fig7Video, float]:
         request_size_range=(min(blocks), max(blocks)) if blocks else (0.0, 0.0),
         download_series=analysis.trace.cumulative_series(),
     )
-    return trace, mean(blocks) if blocks else 0.0
 
 
 def run(scale: Scale = SMALL, seed: int = 0) -> Fig7Result:
@@ -119,25 +119,21 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Fig7Result:
         video_id="fig7-video2", duration=500.0, encoding_rate_bps=0.5 * MBPS,
         resolution="240p", container="webm",
     )
-    trace1, _ = _stream(video1, scale, seed)
-    trace2, _ = _stream(video2, scale, seed + 1)
-
     from ..analysis import median as _median
 
     catalog = make_dataset("YouMob", seed=seed, scale=max(0.05, scale.catalog_scale))
     videos = pick_videos(catalog, max(8, scale.sessions_per_cell), seed,
                          min_size_bytes=15 * MB, max_size_bytes=200 * MB)
+    plans = [_ipad_plan(video1, scale, seed), _ipad_plan(video2, scale, seed + 1)]
+    plans += [_ipad_plan(video, scale, seed + 13 * i)
+              for i, video in enumerate(videos)]
+    results = run_sessions(plans)
+
+    trace1 = _trace(video1, results[0])
+    trace2 = _trace(video2, results[1])
+
     points: List[Fig7Point] = []
-    for i, video in enumerate(videos):
-        config = SessionConfig(
-            profile=RESEARCH,
-            service=Service.YOUTUBE,
-            application=Application.IOS,
-            container=Container.HTML5,
-            capture_duration=scale.capture_duration,
-            seed=seed + 13 * i,
-        )
-        result = run_session(video, config)
+    for video, result in zip(videos, results[2:]):
         analysis = analyze_session(result, use_true_rate=True)
         if analysis.block_sizes:
             # the device may stream a different rendition than the default

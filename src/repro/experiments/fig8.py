@@ -19,10 +19,9 @@ from ..streaming import (
     Service,
     SessionConfig,
     StreamingStrategy,
-    run_session,
 )
 from ..workloads import MBPS, Video, make_dataset
-from .common import MB, SMALL, Scale, pick_videos
+from .common import MB, SMALL, Scale, SessionPlan, pick_videos, run_sessions
 
 
 @dataclass
@@ -64,17 +63,44 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Fig8Result:
                            scale=max(0.02, scale.catalog_scale))
     videos = pick_videos(catalog, scale.sessions_per_cell, seed,
                          min_size_bytes=5 * MB, max_size_bytes=120 * MB)
-    points: List[Fig8Point] = []
-    for i, video in enumerate(videos):
-        config = SessionConfig(
+    hd_plans = [
+        SessionPlan(video, SessionConfig(
             profile=RESEARCH,
             service=Service.YOUTUBE,
             application=Application.FIREFOX,
             container=Container.FLASH_HD,
             capture_duration=min(scale.capture_duration, 90.0),
             seed=seed + 3 * i,
-        )
-        result = run_session(video, config)
+        ))
+        for i, video in enumerate(videos)
+    ]
+
+    # the >1200 s spot check (scaled down: a few long synthetic HD videos;
+    # modest rates keep the bulk transfer tractable)
+    long_count = 3 if scale.sessions_per_cell <= 8 else 5
+    long_plans = [
+        SessionPlan(
+            Video(
+                video_id=f"fig8-long-{i}",
+                duration=1300.0 + 100.0 * i,
+                encoding_rate_bps=(1.0 + 0.4 * i) * MBPS,
+                resolution="720p",
+                container="flv",
+            ),
+            SessionConfig(
+                profile=RESEARCH,
+                service=Service.YOUTUBE,
+                application=Application.CHROME,
+                container=Container.FLASH_HD,
+                capture_duration=min(scale.capture_duration, 60.0),
+                seed=seed + 100 + i,
+            ))
+        for i in range(long_count)
+    ]
+    results = run_sessions(hd_plans + long_plans)
+
+    points: List[Fig8Point] = []
+    for video, result in zip(videos, results[:len(videos)]):
         analysis = analyze_session(result, use_true_rate=True)
         points.append(Fig8Point(
             video.encoding_rate_bps, analysis.trace.download_rate_bps()))
@@ -84,27 +110,8 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Fig8Result:
         if len(points) > 1 else 0.0
     )
 
-    # the >1200 s spot check (scaled down: a few long synthetic HD videos;
-    # modest rates keep the bulk transfer tractable)
-    long_count = 3 if scale.sessions_per_cell <= 8 else 5
     no_steady = 0
-    for i in range(long_count):
-        video = Video(
-            video_id=f"fig8-long-{i}",
-            duration=1300.0 + 100.0 * i,
-            encoding_rate_bps=(1.0 + 0.4 * i) * MBPS,
-            resolution="720p",
-            container="flv",
-        )
-        config = SessionConfig(
-            profile=RESEARCH,
-            service=Service.YOUTUBE,
-            application=Application.CHROME,
-            container=Container.FLASH_HD,
-            capture_duration=min(scale.capture_duration, 60.0),
-            seed=seed + 100 + i,
-        )
-        result = run_session(video, config)
+    for result in results[len(videos):]:
         analysis = analyze_session(result, use_true_rate=True)
         if analysis.strategy is StreamingStrategy.NO_ONOFF:
             no_steady += 1

@@ -25,10 +25,9 @@ from ..streaming import (
     Container,
     Service,
     SessionConfig,
-    run_session,
 )
 from ..workloads import MBPS, Video
-from .common import MB, SMALL, Scale
+from .common import MB, SMALL, Scale, SessionPlan, run_sessions
 
 KB = 1024
 
@@ -77,9 +76,9 @@ class Fig9Result:
         )
 
 
-def _session_samples(video, application, container, scale, seed,
-                     reset_idle=False) -> List[int]:
-    config = SessionConfig(
+def _plan(video, application, container, scale, seed,
+          reset_idle=False) -> SessionPlan:
+    return SessionPlan(video, SessionConfig(
         profile=RESEARCH,
         service=Service.YOUTUBE,
         application=application,
@@ -87,8 +86,10 @@ def _session_samples(video, application, container, scale, seed,
         capture_duration=scale.capture_duration,
         seed=seed,
         server_reset_cwnd_after_idle=reset_idle,
-    )
-    result = run_session(video, config)
+    ))
+
+
+def _session_samples(result) -> List[int]:
     analysis = analyze_session(result, use_true_rate=True)
     # multi-connection players (iPad) show their ACK clock at connection
     # starts, so those ON periods are included in the Figure 9 metric
@@ -115,10 +116,6 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Fig9Result:
         ("Android", webm_video, Application.ANDROID, Container.HTML5),
         ("iPad", webm_video, Application.IOS, Container.HTML5),
     ]
-    curves = []
-    for label, video, application, container in cases:
-        samples = _session_samples(video, application, container, scale, seed)
-        curves.append(Fig9Curve(label, samples or [0]))
     # Ablation: RFC 5681 only resets after idling a full RTO (>= 1 s), so
     # use a low-rate video whose OFF periods comfortably exceed it (64 kB
     # at 1.25x 0.25 Mbps cycles every ~1.7 s, leaving ~1.5 s of true idle
@@ -127,13 +124,22 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Fig9Result:
         video_id="fig9-slow-flash", duration=1400.0,
         encoding_rate_bps=0.25 * MBPS, resolution="240p", container="flv",
     )
-    stock_samples = _session_samples(
-        slow_flash, Application.FIREFOX, Container.FLASH, scale, seed,
-    )
-    reset_samples = _session_samples(
-        slow_flash, Application.FIREFOX, Container.FLASH, scale, seed,
-        reset_idle=True,
-    )
+    plans = [
+        _plan(video, application, container, scale, seed)
+        for _label, video, application, container in cases
+    ] + [
+        _plan(slow_flash, Application.FIREFOX, Container.FLASH, scale, seed),
+        _plan(slow_flash, Application.FIREFOX, Container.FLASH, scale, seed,
+              reset_idle=True),
+    ]
+    results = run_sessions(plans)
+
+    curves = []
+    for (label, *_), result in zip(cases, results):
+        samples = _session_samples(result)
+        curves.append(Fig9Curve(label, samples or [0]))
+    stock_samples = _session_samples(results[-2])
+    reset_samples = _session_samples(results[-1])
     from ..tcp.constants import DEFAULT_INIT_CWND_SEGMENTS, DEFAULT_MSS
 
     return Fig9Result(

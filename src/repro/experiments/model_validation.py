@@ -35,7 +35,42 @@ from ..model import (
     wasted_bandwidth_exact,
 )
 from ..workloads import EmpiricalInterruptionModel, make_youflash
-from .common import SMALL, Scale
+from .common import SMALL, Scale, run_tasks
+
+#: Strategy factories reconstructed by name inside the Monte-Carlo worker,
+#: so the task arguments stay plain (picklable, fingerprintable) data.
+STRATEGY_NAMES = ("No ON-OFF", "Short ON-OFF", "Long ON-OFF")
+
+
+def _strategy_factory(name: str):
+    if name == "No ON-OFF":
+        return constant_strategy
+    if name == "Short ON-OFF":
+        return short_onoff_strategy()
+    if name == "Long ON-OFF":
+        return short_onoff_strategy(
+            block_bytes=5 * 1024 * 1024, buffering_playback_s=60.0)
+    raise ValueError(f"unknown strategy {name!r}")
+
+
+def _moment_sample(catalog, lam: float, horizon: float, name: str,
+                   peak: float, seed: int):
+    sample = simulate_aggregate(
+        catalog, lam, horizon=horizon, strategy=_strategy_factory(name),
+        peak_bps=peak, seed=seed)
+    return sample.mean_bps, sample.variance_bps2
+
+
+def _waste_sample(catalog, lam: float, horizon: float,
+                  buffering_playback_s: float, accumulation_ratio: float,
+                  seed: int) -> float:
+    interruptions = EmpiricalInterruptionModel()
+    return simulate_wasted_bandwidth(
+        catalog, lam, horizon=horizon,
+        buffering_playback_s=buffering_playback_s,
+        accumulation_ratio=accumulation_ratio,
+        beta_sampler=lambda r, L: interruptions.sample(r, L).beta,
+        seed=seed)
 
 
 @dataclass
@@ -119,24 +154,20 @@ def run(scale: Scale = SMALL, seed: int = 0) -> ModelValidationResult:
     model_mean = aggregate_mean_exact(lam, moments)
     model_var = aggregate_variance(lam, moments)
 
-    strategies = [
-        ("No ON-OFF", constant_strategy),
-        ("Short ON-OFF", short_onoff_strategy()),
-        ("Long ON-OFF", short_onoff_strategy(
-            block_bytes=5 * 1024 * 1024, buffering_playback_s=60.0)),
-    ]
-    moment_rows = []
-    for name, factory in strategies:
-        sample = simulate_aggregate(
-            catalog, lam, horizon=horizon, strategy=factory,
-            peak_bps=peak, seed=seed + 1)
-        moment_rows.append(MomentRow(
+    samples = run_tasks(_moment_sample, [
+        (catalog, lam, horizon, name, peak, seed + 1)
+        for name in STRATEGY_NAMES
+    ])
+    moment_rows = [
+        MomentRow(
             strategy=name,
-            empirical_mean=sample.mean_bps,
+            empirical_mean=mean_bps,
             model_mean=model_mean,
-            empirical_var=sample.variance_bps2,
+            empirical_var=variance_bps2,
             model_var=model_var,
-        ))
+        )
+        for name, (mean_bps, variance_bps2) in zip(STRATEGY_NAMES, samples)
+    ]
 
     critical = critical_duration(40.0, 1.25, 0.2)
 
@@ -148,11 +179,8 @@ def run(scale: Scale = SMALL, seed: int = 0) -> ModelValidationResult:
         sessions.append((video.encoding_rate_bps, video.duration,
                          outcome.beta))
     closed = wasted_bandwidth_exact(lam, sessions, 40.0, 1.25)
-    empirical = simulate_wasted_bandwidth(
-        catalog, lam, horizon=horizon,
-        buffering_playback_s=40.0, accumulation_ratio=1.25,
-        beta_sampler=lambda r, L: interruptions.sample(r, L).beta,
-        seed=seed + 3)
+    [empirical] = run_tasks(_waste_sample,
+                            [(catalog, lam, horizon, 40.0, 1.25, seed + 3)])
 
     sweep = waste_sweep(lam, sessions, [5.0, 20.0, 40.0], [1.0, 1.25, 1.5])
     migration = encoding_rate_migration(lam, moments, rate_scale=2.0)

@@ -22,10 +22,9 @@ from ..streaming import (
     Service,
     SessionConfig,
     StreamingStrategy,
-    run_session,
 )
 from ..workloads import make_dataset
-from .common import MB, SMALL, Scale, pick_videos
+from .common import MB, SMALL, Scale, SessionPlan, pick_videos, run_sessions
 
 
 @dataclass
@@ -96,8 +95,8 @@ def _video_for(combo: Combo, scale: Scale, seed: int):
 
 
 def run(scale: Scale = SMALL, seed: int = 0) -> Table1Result:
-    cells = []
-    for combo, expected in TABLE1_EXPECTED.items():
+    plans = []
+    for combo in TABLE1_EXPECTED:
         service, container, application = combo
         video = _video_for(combo, scale, seed)
         profile = ACADEMIC if service is Service.NETFLIX else RESEARCH
@@ -109,7 +108,12 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Table1Result:
             capture_duration=max(scale.capture_duration, 120.0),
             seed=seed,
         )
-        result = run_session(video, config)
+        plans.append(SessionPlan(video, config))
+    results = run_sessions(plans)
+
+    cells = []
+    for (combo, expected), result in zip(TABLE1_EXPECTED.items(), results):
+        service, container, application = combo
         analysis = analyze_session(result, use_true_rate=True)
         blocks = sorted(analysis.block_sizes)
         cells.append(

@@ -20,10 +20,9 @@ from ..streaming import (
     Service,
     SessionConfig,
     StreamingStrategy,
-    run_session,
 )
 from ..workloads import MBPS, Video
-from .common import MB, SMALL, Scale
+from .common import MB, SMALL, Scale, SessionPlan, run_sessions
 
 COMPLEXITY = {
     StreamingStrategy.NO_ONOFF: "Not required",
@@ -95,21 +94,27 @@ def run(scale: Scale = SMALL, seed: int = 0,
         (StreamingStrategy.LONG_ONOFF, Application.CHROME),
         (StreamingStrategy.SHORT_ONOFF, Application.INTERNET_EXPLORER),
     ]
+    plans = [
+        SessionPlan(video, SessionConfig(
+            profile=RESEARCH,
+            service=Service.YOUTUBE,
+            application=application,
+            container=Container.HTML5,
+            capture_duration=scale.capture_duration,
+            seed=seed + 101 * i,
+            watch_fraction=watch_fraction,
+            probe_period=1.0,
+        ))
+        for _strategy, application in cases
+        for i, video in enumerate(videos)
+    ]
+    results = iter(run_sessions(plans))
+
     rows = []
     for strategy, application in cases:
         peaks, unused, downloaded = [], [], []
-        for i, video in enumerate(videos):
-            config = SessionConfig(
-                profile=RESEARCH,
-                service=Service.YOUTUBE,
-                application=application,
-                container=Container.HTML5,
-                capture_duration=scale.capture_duration,
-                seed=seed + 101 * i,
-                watch_fraction=watch_fraction,
-                probe_period=1.0,
-            )
-            result = run_session(video, config)
+        for _video in videos:
+            result = next(results)
             peaks.append(result.buffer_series.max()
                          if result.buffer_series else 0.0)
             unused.append(result.unused_bytes)

@@ -1,0 +1,59 @@
+"""Parallel session-execution engine with a content-addressed result cache.
+
+The paper's dataset is thousands of captures; reproducing its tables
+replays dozens of independent seeded sessions per figure.  This package
+makes that campaign layer a property of the framework instead of each
+experiment: plans fan out over a ``multiprocessing`` pool, completed
+results memoize into an on-disk cache keyed by (video, config, code
+version), and ordering/seeding guarantees make ``jobs=N`` byte-identical
+to ``jobs=1``.
+
+Public API:
+
+* :class:`SessionPlan`, :func:`run_sessions`, :func:`run_tasks` — the
+  execution engine (see :mod:`repro.runner.pool`).
+* :class:`ResultCache` — the content-addressed store
+  (:mod:`repro.runner.cache`).
+* :func:`plan_fingerprint`, :func:`task_fingerprint`,
+  :func:`code_version`, :func:`fingerprint`, :func:`canonical` — cache
+  keys (:mod:`repro.runner.fingerprint`).
+* :func:`engine_options`, :class:`EngineOptions`, :class:`RunStats`,
+  :func:`current_options` — ambient configuration the CLI installs and
+  experiments inherit.
+"""
+
+from .cache import ResultCache
+from .fingerprint import (
+    canonical,
+    code_version,
+    fingerprint,
+    plan_fingerprint,
+    task_fingerprint,
+)
+from .pool import (
+    CacheLike,
+    EngineOptions,
+    RunStats,
+    SessionPlan,
+    current_options,
+    engine_options,
+    run_sessions,
+    run_tasks,
+)
+
+__all__ = [
+    "CacheLike",
+    "EngineOptions",
+    "ResultCache",
+    "RunStats",
+    "SessionPlan",
+    "canonical",
+    "code_version",
+    "current_options",
+    "engine_options",
+    "fingerprint",
+    "plan_fingerprint",
+    "run_sessions",
+    "run_tasks",
+    "task_fingerprint",
+]

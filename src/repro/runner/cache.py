@@ -1,0 +1,83 @@
+"""Content-addressed on-disk cache for completed session results.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` — the key is the full content
+fingerprint (see :mod:`repro.runner.fingerprint`), so a lookup is a
+single ``open``; there is no index to corrupt and no locking to get
+wrong.  Writes go through a temporary file in the same directory followed
+by :func:`os.replace`, so concurrent writers (pool workers, parallel
+pytest sessions) at worst replace an entry with an identical one.
+
+Unreadable or truncated entries are treated as misses and removed; the
+cache is an accelerator, never a source of truth.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Pickle store keyed by content fingerprint."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, or ``None`` on miss or unreadable entry."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as f:
+                return pickle.load(f)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # truncated/corrupt entry (interrupted writer, version skew
+            # in a pickled class): drop it and recompute
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,242 @@
+"""The session-execution engine: fan-out, memoization, determinism.
+
+Every experiment in this repository reduces to a batch of *independent*
+``run_session(video, config)`` calls — independent because each session
+builds a private network whose RNG streams derive from ``config.seed``
+(see :func:`repro.simnet.rng.derive_seed`), never from shared state.  The
+engine exploits exactly that:
+
+* ``run_sessions(plans)`` executes a batch over a ``multiprocessing``
+  pool of ``jobs`` workers and returns results **in plan order** — the
+  pool's ``map`` reassembles completion-order results by input index, so
+  the output is byte-identical to a serial run regardless of worker
+  scheduling.
+* With a :class:`~repro.runner.cache.ResultCache`, each plan is first
+  looked up by content fingerprint (video + config + code version); only
+  misses are simulated, and their results are stored for the next run.
+* ``run_tasks(fn, argslist)`` is the same machinery for coarser units
+  (e.g. a whole concurrent-session cohort, or a Monte-Carlo run) that are
+  not shaped like a single session.
+
+Experiments do not thread ``jobs``/``cache`` through their signatures;
+the CLI (or a test) installs them ambiently::
+
+    with engine_options(jobs=4, cache="~/.cache/repro"):
+        spec.run(scale, seed=0)     # every run_sessions() inside fans out
+"""
+
+from __future__ import annotations
+
+import contextvars
+import multiprocessing
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .cache import ResultCache
+from .fingerprint import plan_fingerprint, task_fingerprint
+
+__all__ = [
+    "CacheLike",
+    "EngineOptions",
+    "RunStats",
+    "SessionPlan",
+    "current_options",
+    "engine_options",
+    "run_sessions",
+    "run_tasks",
+]
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """One unit of work for the engine: stream ``video`` under ``config``.
+
+    Both fields are plain dataclasses, so a plan pickles to a worker and
+    fingerprints into a cache key.
+    """
+
+    video: Any
+    config: Any
+
+    @property
+    def key(self) -> str:
+        return plan_fingerprint(self.video, self.config)
+
+
+@dataclass
+class RunStats:
+    """Counters the engine accumulates while an experiment runs."""
+
+    sessions: int = 0        # units requested (sessions + coarse tasks)
+    cache_hits: int = 0
+    cache_misses: int = 0    # units actually simulated
+
+    def add(self, requested: int, hits: int) -> None:
+        self.sessions += requested
+        self.cache_hits += hits
+        self.cache_misses += requested - hits
+
+
+@dataclass
+class EngineOptions:
+    """Ambient engine configuration (see :func:`engine_options`)."""
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    stats: Optional[RunStats] = None
+
+
+_OPTIONS: contextvars.ContextVar[EngineOptions] = contextvars.ContextVar(
+    "repro-engine-options", default=EngineOptions()
+)
+
+CacheLike = Union[ResultCache, str, Path, None]
+
+
+def _as_cache(cache: CacheLike) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def current_options() -> EngineOptions:
+    """The engine options in effect for this context."""
+    return _OPTIONS.get()
+
+
+@contextmanager
+def engine_options(jobs: Optional[int] = None, cache: CacheLike = None,
+                   stats: Optional[RunStats] = None):
+    """Override the ambient engine options within a ``with`` block.
+
+    ``None`` keeps the surrounding value, so nested scopes compose: a
+    test can pin ``jobs=1`` around an experiment the CLI configured with
+    ``jobs=8``.
+    """
+    base = _OPTIONS.get()
+    options = EngineOptions(
+        jobs=base.jobs if jobs is None else max(1, int(jobs)),
+        cache=base.cache if cache is None else _as_cache(cache),
+        stats=base.stats if stats is None else stats,
+    )
+    token = _OPTIONS.set(options)
+    try:
+        yield options
+    finally:
+        _OPTIONS.reset(token)
+
+
+# -- workers ------------------------------------------------------------------
+# Module-level functions: picklable by reference under both fork and spawn.
+
+def _call_plan(plan: SessionPlan):
+    from ..streaming import run_session
+
+    return run_session(plan.video, plan.config)
+
+
+def _call_task(payload: Tuple[Callable[..., Any], tuple]):
+    fn, args = payload
+    return fn(*args)
+
+
+def _pool_context():
+    # fork starts in milliseconds and inherits sys.path; spawn is the
+    # portable fallback (macOS/Windows default)
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _execute(worker: Callable[[Any], Any], items: Sequence[Any],
+             jobs: int) -> List[Any]:
+    """Run ``worker`` over ``items``, preserving input order.
+
+    ``jobs=1`` (the default everywhere) runs inline — no pool, no pickle
+    round-trip — so tests and single-session experiments pay nothing.
+    The parallel path calls the *same* worker function on the same
+    arguments; results only travel through a pickle round-trip, which is
+    lossless for session results, so outputs are identical bytewise.
+    """
+    if jobs <= 1 or len(items) <= 1:
+        return [worker(item) for item in items]
+    # An explicit jobs=N request spawns N workers even when os.cpu_count()
+    # is lower: oversubscription costs little for these CPU-bound sessions,
+    # and the parallel code path (fork + pickle round-trip) must behave
+    # identically everywhere for the jobs=N == jobs=1 guarantee to be
+    # testable on any machine.
+    processes = min(jobs, len(items))
+    with _pool_context().Pool(processes=processes) as pool:
+        # chunksize=1: sessions vary widely in cost (a 16-cell Table 1
+        # batch mixes 30 s bulk transfers with 180 s Netflix sessions),
+        # so fine-grained dispatch keeps the stragglers from serializing
+        return pool.map(worker, items, chunksize=1)
+
+
+def _run_cached(worker: Callable[[Any], Any], items: Sequence[Any],
+                keys: Optional[List[str]], jobs: int,
+                cache: Optional[ResultCache],
+                stats: Optional[RunStats]) -> List[Any]:
+    results: List[Any] = [None] * len(items)
+    pending = list(range(len(items)))
+    if cache is not None and keys is not None:
+        pending = []
+        for i, key in enumerate(keys):
+            hit = cache.get(key)
+            if hit is None:
+                pending.append(i)
+            else:
+                results[i] = hit
+    computed = _execute(worker, [items[i] for i in pending], jobs)
+    for i, result in zip(pending, computed):
+        results[i] = result
+        if cache is not None and keys is not None:
+            cache.put(keys[i], result)
+    if stats is not None:
+        stats.add(len(items), len(items) - len(pending))
+    return results
+
+
+PlanLike = Union[SessionPlan, Tuple[Any, Any]]
+
+
+def run_sessions(plans: Iterable[PlanLike], *, jobs: Optional[int] = None,
+                 cache: CacheLike = None,
+                 stats: Optional[RunStats] = None) -> List[Any]:
+    """Execute a batch of session plans; results come back in plan order.
+
+    ``plans`` holds :class:`SessionPlan` objects or ``(video, config)``
+    tuples.  ``jobs``/``cache``/``stats`` default to the ambient
+    :func:`engine_options`; experiments normally pass none of them.
+    """
+    options = _OPTIONS.get()
+    jobs = options.jobs if jobs is None else max(1, int(jobs))
+    cache = options.cache if cache is None else _as_cache(cache)
+    stats = options.stats if stats is None else stats
+    normalized = [p if isinstance(p, SessionPlan) else SessionPlan(*p)
+                  for p in plans]
+    keys = None
+    if cache is not None:
+        keys = [plan.key for plan in normalized]
+    return _run_cached(_call_plan, normalized, keys, jobs, cache, stats)
+
+
+def run_tasks(fn: Callable[..., Any], argslist: Iterable[tuple], *,
+              jobs: Optional[int] = None, cache: CacheLike = None,
+              stats: Optional[RunStats] = None) -> List[Any]:
+    """Execute ``fn(*args)`` for each args tuple, in order.
+
+    ``fn`` must be a module-level function (picklable by reference) and
+    deterministic in its arguments — the cache key is (function name,
+    args, code version), exactly parallel to the session path.
+    """
+    options = _OPTIONS.get()
+    jobs = options.jobs if jobs is None else max(1, int(jobs))
+    cache = options.cache if cache is None else _as_cache(cache)
+    stats = options.stats if stats is None else stats
+    items = [(fn, tuple(args)) for args in argslist]
+    keys = None
+    if cache is not None:
+        keys = [task_fingerprint(fn, args) for _fn, args in items]
+    return _run_cached(_call_task, items, keys, jobs, cache, stats)
