@@ -18,6 +18,14 @@ The package is organized bottom-up:
   content-addressed result cache, (video, config, code) fingerprints.
 - :mod:`repro.experiments` — one module per table/figure of the paper,
   behind an :class:`~repro.experiments.ExperimentSpec` registry.
+- :mod:`repro.telemetry` — span tracing, metrics and structured events
+  threaded through all of the above; off by default, deterministic under
+  parallelism (see ``docs/ARCHITECTURE.md``).
+
+The prose companions: ``docs/ARCHITECTURE.md`` (layers, data flow, the
+determinism contract), ``docs/API.md`` (generated reference of the
+public surface), ``DESIGN.md`` (substitutions and per-experiment module
+map), ``EXPERIMENTS.md`` (paper vs. reproduction).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

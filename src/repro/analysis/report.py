@@ -61,4 +61,5 @@ def bytes_human(n: float) -> str:
 
 
 def mbps(bps: float) -> str:
+    """Format a bits-per-second value as ``"X.XX Mbps"``."""
     return f"{bps / 1e6:.2f} Mbps"

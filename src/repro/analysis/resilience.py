@@ -108,6 +108,12 @@ class ResilienceAggregate:
 def aggregate_resilience(
     summaries: Sequence[ResilienceSummary],
 ) -> ResilienceAggregate:
+    """Fleet-level roll-up of per-session resilience summaries.
+
+    Means are taken over all sessions; rates (failure, completion) are
+    fractions of the whole fleet.  Raises ``ValueError`` on an empty
+    input — an empty fleet has no meaningful rates.
+    """
     if not summaries:
         raise ValueError("no sessions to aggregate")
     n = len(summaries)

@@ -59,6 +59,7 @@ class Cdf:
 
 
 def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty sequence."""
     if not samples:
         raise ValueError("mean of zero samples")
     return sum(samples) / len(samples)
@@ -73,6 +74,7 @@ def variance(samples: Sequence[float]) -> float:
 
 
 def median(samples: Sequence[float]) -> float:
+    """Sample median (midpoint of the two central order statistics)."""
     if not samples:
         raise ValueError("median of zero samples")
     ordered = sorted(samples)

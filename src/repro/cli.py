@@ -12,6 +12,11 @@ Commands:
   (output stays byte-identical to ``--jobs 1``); ``--cache-dir`` memoizes
   completed sessions on disk so a rerun is nearly free; ``--no-cache``
   force-disables caching even when ``$REPRO_CACHE_DIR`` is set.
+* ``profile <name>`` — run one experiment with telemetry enabled and
+  print the per-phase flame-style breakdown, counters, histograms and
+  event summary (``--trace out.jsonl`` dumps the raw records).  The
+  experiment's own output is unchanged by recording; ``--report`` prints
+  it too.
 * ``list`` — show the available experiments (title and paper reference
   from the registry), applications and networks.
 """
@@ -95,6 +100,32 @@ def _build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--no-cache", action="store_true",
         help="disable the result cache even if $REPRO_CACHE_DIR is set")
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one experiment with telemetry on and print the "
+             "per-phase/counter breakdown")
+    p_prof.add_argument("name", help="an experiment name from `repro list`")
+    p_prof.add_argument("--scale", default="small",
+                        choices=["small", "medium", "full"])
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (counters/events are identical for any N; "
+             "span totals sum CPU-seconds across workers)")
+    p_prof.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="reuse/populate the result cache while profiling")
+    p_prof.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if $REPRO_CACHE_DIR is set")
+    p_prof.add_argument(
+        "--trace", default=None, metavar="FILE.jsonl",
+        help="also dump every span/event/counter as JSON lines")
+    p_prof.add_argument(
+        "--report", action="store_true",
+        help="print the experiment's normal report before the profile "
+             "(byte-identical to a run without telemetry)")
 
     sub.add_parser("list", help="show experiments, applications, networks")
     return parser
@@ -276,6 +307,37 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from .experiments import REGISTRY, SCALES
+    from .runner import RunStats
+    from .telemetry import recording, summarize, write_jsonl
+
+    if args.name not in REGISTRY:
+        print(f"unknown experiment {args.name!r}; know {', '.join(REGISTRY)}",
+              file=sys.stderr)
+        return 2
+    spec = REGISTRY[args.name]
+    scale = SCALES[args.scale]
+    cache = _resolve_cache(args)
+    stats = RunStats()
+    started = time.perf_counter()
+    with recording() as rec:
+        result = spec.run(scale, seed=args.seed, jobs=args.jobs,
+                          cache=cache, stats=stats)
+    elapsed = time.perf_counter() - started
+    if args.report:
+        print(result.report())
+        print()
+    title = (f"{spec.name} ({spec.paper}) — scale={scale.name} "
+             f"seed={args.seed} jobs={args.jobs} "
+             f"cache={'on' if cache else 'off'} wall={elapsed:.2f}s")
+    print(summarize(rec, title=title))
+    if args.trace:
+        n = write_jsonl(rec, args.trace)
+        print(f"\ntrace written      : {args.trace} ({n} records)")
+    return 0
+
+
 def _cmd_list() -> int:
     from .analysis import format_table
     from .experiments import REGISTRY
@@ -302,6 +364,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stream(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "list":
         return _cmd_list()
     return 2  # pragma: no cover - argparse enforces the choices

@@ -19,6 +19,8 @@ import tempfile
 from pathlib import Path
 from typing import Any, Optional
 
+from ..telemetry import current_recorder
+
 __all__ = ["ResultCache"]
 
 
@@ -41,35 +43,40 @@ class ResultCache:
     def get(self, key: str) -> Optional[Any]:
         """The cached value, or ``None`` on miss or unreadable entry."""
         path = self._path(key)
-        try:
-            with open(path, "rb") as f:
-                return pickle.load(f)
-        except FileNotFoundError:
-            return None
-        except Exception:
-            # truncated/corrupt entry (interrupted writer, version skew
-            # in a pickled class): drop it and recompute
+        with current_recorder().span("cache.get"):
             try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+                with open(path, "rb") as f:
+                    return pickle.load(f)
+            except FileNotFoundError:
+                return None
+            except Exception:
+                # truncated/corrupt entry (interrupted writer, version skew
+                # in a pickled class): drop it and recompute
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` atomically."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as f:
-                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
+        rec = current_recorder()
+        with rec.span("cache.put"):
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            if rec.enabled:
+                rec.inc("cache.bytes_written", path.stat().st_size)
 
     def clear(self) -> int:
         """Remove every entry; returns the number removed."""

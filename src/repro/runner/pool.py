@@ -23,6 +23,12 @@ the CLI (or a test) installs them ambiently::
 
     with engine_options(jobs=4, cache="~/.cache/repro"):
         spec.run(scale, seed=0)     # every run_sessions() inside fans out
+
+Telemetry follows the same ambient pattern (:mod:`repro.telemetry`):
+inside a ``recording()`` scope the engine times its phases, counts cache
+hits/misses, and merges each session's recorded snapshot back **in plan
+order**, so ``jobs=N`` telemetry equals ``jobs=1`` telemetry just as the
+results do.  Recording state never enters a cache fingerprint.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..telemetry import NULL, NullRecorder, Recorder, SessionTelemetry, current_recorder, use_recorder
 from .cache import ResultCache
 from .fingerprint import plan_fingerprint, task_fingerprint
 
@@ -130,15 +137,44 @@ def engine_options(jobs: Optional[int] = None, cache: CacheLike = None,
 
 # -- workers ------------------------------------------------------------------
 # Module-level functions: picklable by reference under both fork and spawn.
+# Each payload carries an explicit ``record`` flag because the ambient
+# recorder is a contextvar: a forked worker would inherit it, a spawned
+# worker would not, and telemetry must not depend on the start method.
 
-def _call_plan(plan: SessionPlan):
+def _call_plan(payload: Tuple[SessionPlan, bool]):
+    plan, record = payload
     from ..streaming import run_session
 
+    if record:
+        # run_session sees an enabled ambient recorder and attaches its
+        # per-session snapshot to the result, which travels back to the
+        # parent through the ordinary pickle round-trip.
+        with use_recorder(Recorder()):
+            return run_session(plan.video, plan.config)
     return run_session(plan.video, plan.config)
 
 
-def _call_task(payload: Tuple[Callable[..., Any], tuple]):
-    fn, args = payload
+@dataclass
+class _TaskEnvelope:
+    """A task result plus the telemetry its worker recorded.
+
+    ``run_tasks`` results are arbitrary objects with nowhere to attach a
+    snapshot, so recorded runs wrap them; the engine unwraps and merges
+    before returning.  Envelopes may land in the result cache — a later
+    telemetry-off run unwraps them the same way.
+    """
+
+    value: Any
+    telemetry: Optional[SessionTelemetry] = None
+
+
+def _call_task(payload: Tuple[Callable[..., Any], tuple, bool]):
+    fn, args, record = payload
+    if record:
+        rec = Recorder()
+        with use_recorder(rec):
+            value = fn(*args)
+        return _TaskEnvelope(value, rec.snapshot())
     return fn(*args)
 
 
@@ -177,7 +213,8 @@ def _execute(worker: Callable[[Any], Any], items: Sequence[Any],
 def _run_cached(worker: Callable[[Any], Any], items: Sequence[Any],
                 keys: Optional[List[str]], jobs: int,
                 cache: Optional[ResultCache],
-                stats: Optional[RunStats]) -> List[Any]:
+                stats: Optional[RunStats],
+                rec: NullRecorder = NULL) -> List[Any]:
     results: List[Any] = [None] * len(items)
     pending = list(range(len(items)))
     if cache is not None and keys is not None:
@@ -188,7 +225,14 @@ def _run_cached(worker: Callable[[Any], Any], items: Sequence[Any],
                 pending.append(i)
             else:
                 results[i] = hit
-    computed = _execute(worker, [items[i] for i in pending], jobs)
+    if rec.enabled:
+        rec.inc("engine.units", len(items))
+        rec.inc("engine.cache_hits", len(items) - len(pending))
+        rec.inc("engine.cache_misses", len(pending))
+        with rec.span("engine.execute"):
+            computed = _execute(worker, [items[i] for i in pending], jobs)
+    else:
+        computed = _execute(worker, [items[i] for i in pending], jobs)
     for i, result in zip(pending, computed):
         results[i] = result
         if cache is not None and keys is not None:
@@ -218,8 +262,27 @@ def run_sessions(plans: Iterable[PlanLike], *, jobs: Optional[int] = None,
                   for p in plans]
     keys = None
     if cache is not None:
+        # The cache key is (video, config, code version) only — whether
+        # telemetry is recording never changes what a session computes,
+        # so it must not change where its result lives.
         keys = [plan.key for plan in normalized]
-    return _run_cached(_call_plan, normalized, keys, jobs, cache, stats)
+    rec = current_recorder()
+    payloads = [(plan, rec.enabled) for plan in normalized]
+    if not rec.enabled:
+        return _run_cached(_call_plan, payloads, keys, jobs, cache, stats)
+    with rec.span("engine.run_sessions"):
+        rec.gauge("engine.jobs", jobs)
+        results = _run_cached(_call_plan, payloads, keys, jobs, cache,
+                              stats, rec)
+        # Merge per-session telemetry in *plan order* — the results list
+        # is already plan-ordered, so merged counters and event logs are
+        # identical for any worker count.  Cache hits replay whatever
+        # telemetry they were computed with (possibly none).
+        for result in results:
+            telemetry = getattr(result, "telemetry", None)
+            if telemetry is not None:
+                rec.merge(telemetry)
+    return results
 
 
 def run_tasks(fn: Callable[..., Any], argslist: Iterable[tuple], *,
@@ -235,8 +298,27 @@ def run_tasks(fn: Callable[..., Any], argslist: Iterable[tuple], *,
     jobs = options.jobs if jobs is None else max(1, int(jobs))
     cache = options.cache if cache is None else _as_cache(cache)
     stats = options.stats if stats is None else stats
-    items = [(fn, tuple(args)) for args in argslist]
+    rec = current_recorder()
+    items = [(fn, tuple(args), rec.enabled) for args in argslist]
     keys = None
     if cache is not None:
-        keys = [task_fingerprint(fn, args) for _fn, args in items]
-    return _run_cached(_call_task, items, keys, jobs, cache, stats)
+        # Keyed on (function, args, code version); the record flag is
+        # deliberately excluded, like everything telemetry-related.
+        keys = [task_fingerprint(fn, args) for _fn, args, _record in items]
+    if not rec.enabled:
+        results = _run_cached(_call_task, items, keys, jobs, cache, stats)
+        return [r.value if isinstance(r, _TaskEnvelope) else r
+                for r in results]
+    with rec.span("engine.run_tasks"):
+        rec.gauge("engine.jobs", jobs)
+        results = _run_cached(_call_task, items, keys, jobs, cache,
+                              stats, rec)
+        unwrapped: List[Any] = []
+        for result in results:
+            if isinstance(result, _TaskEnvelope):
+                if result.telemetry is not None:
+                    rec.merge(result.telemetry)
+                unwrapped.append(result.value)
+            else:
+                unwrapped.append(result)
+    return unwrapped

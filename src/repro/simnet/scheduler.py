@@ -15,6 +15,7 @@ import heapq
 import itertools
 from typing import Callable, List, Optional
 
+from ..telemetry import current_recorder
 from .clock import SimClock
 from .errors import SchedulingError
 
@@ -56,6 +57,11 @@ class EventScheduler:
         self._heap: List[EventHandle] = []
         self._counter = itertools.count()
         self._fired = 0
+        # Captured once: a scheduler lives inside exactly one session (or
+        # test), so the recorder in effect at construction is the right
+        # one for its whole lifetime, and the hot loops below pay only an
+        # ``enabled`` check when telemetry is off.
+        self._telemetry = current_recorder()
 
     # -- scheduling ---------------------------------------------------------
 
@@ -119,6 +125,8 @@ class EventScheduler:
             fired += 1
         if self.clock.now() < t:
             self.clock.advance_to(t)
+        if fired and self._telemetry.enabled:
+            self._telemetry.inc("scheduler.events", fired)
         return fired
 
     def run(self, max_events: Optional[int] = None) -> int:
@@ -128,6 +136,8 @@ class EventScheduler:
             fired += 1
             if max_events is not None and fired >= max_events:
                 break
+        if fired and self._telemetry.enabled:
+            self._telemetry.inc("scheduler.events", fired)
         return fired
 
     def run_while(self, predicate: Callable[[], bool], horizon: float) -> int:

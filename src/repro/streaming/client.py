@@ -38,6 +38,7 @@ from typing import Callable, List, Optional, Tuple
 from ..simnet.node import Host
 from ..simnet.scheduler import EventHandle, EventScheduler
 from ..tcp import TcpConfig, TcpConnection
+from ..telemetry import current_recorder
 from ..workloads.video import Video
 from .httpconn import HttpResponseStream
 from .params import (
@@ -154,6 +155,9 @@ class PlayerBase:
         self._stall_since: Optional[float] = None
         self._consecutive_rebuffers = 0
         self._monitor_started = False
+        # One recorder per player (= per session); request/stall paths
+        # guard on `.enabled` so the disabled path stays a single check.
+        self._telemetry = current_recorder()
 
     # -- playback ------------------------------------------------------------
 
@@ -166,6 +170,9 @@ class PlayerBase:
             self.playback_started_at = now
             if self._session_started_at is not None:
                 self.startup_delay_s = now - self._session_started_at
+            if self._telemetry.enabled:
+                self._telemetry.event("player.playback_start", t=now,
+                                      startup_delay_s=self.startup_delay_s)
 
     def consumed(self, now: Optional[float] = None) -> float:
         """Bytes of media the player has consumed by time ``now``.
@@ -285,6 +292,11 @@ class PlayerBase:
         else:
             resume_bytes = STALL_RESUME_S * self.playback_rate_bps / 8
             if buffer_bytes >= resume_bytes or self.finished:
+                if self._telemetry.enabled:
+                    self._telemetry.inc("player.rebuffers")
+                    self._telemetry.event("player.rebuffer", t=now,
+                                          started=self._stall_since,
+                                          duration=now - self._stall_since)
                 self.stall_events.append((self._stall_since, now))
                 self._stall_since = None
                 self.rebuffer_count += 1
@@ -330,6 +342,19 @@ class PlayerBase:
                 self._handle_transfer_failure(conn, job, "stall-timeout")
 
     # -- plumbing ---------------------------------------------------------------
+
+    def _note_request(self, offset: int, ranged: bool) -> None:
+        """Telemetry hook for every HTTP request the player issues.
+
+        Each request opens an ON-period, so the event log doubles as the
+        ground-truth record of ON-OFF block boundaries the analysis
+        pipeline later infers from packet gaps.
+        """
+        if self._telemetry.enabled:
+            self._telemetry.inc("player.requests")
+            self._telemetry.event("player.request",
+                                  t=self.scheduler.clock.now(),
+                                  offset=offset, ranged=ranged)
 
     def _schedule(self, delay: float, fn: Callable[[], None], label: str) -> None:
         if self.stopped:
@@ -429,6 +454,8 @@ class PlayerBase:
                 end = "" if job.end is None else job.end
                 request += f"Range: bytes={job.next_offset}-{end}\r\n"
             request += "\r\n"
+            self._note_request(job.next_offset if (job.ranged or job.received)
+                               else 0, job.ranged or bool(job.received))
             c.send(request.encode("ascii"))
 
         conn.on_connected = send_request
@@ -462,6 +489,7 @@ class PlayerBase:
             f"GET {path} HTTP/1.1\r\nHost: video.example\r\n"
             f"Range: bytes={start}-{end}\r\n\r\n"
         )
+        self._note_request(start, True)
         conn.send(request.encode("ascii"))
         return conn
 
@@ -500,6 +528,11 @@ class PlayerBase:
             self.wasted_bytes += job.received
             job.received = 0
         self.retry_count += 1
+        if self._telemetry.enabled:
+            self._telemetry.inc("player.retries")
+            self._telemetry.event("player.retry",
+                                  t=self.scheduler.clock.now(),
+                                  reason=reason, attempt=job.attempts)
         delay = policy.backoff_delay(job.attempts - 1, self.rng)
         self._schedule(delay, lambda: self._restart_job(job, conn),
                        "retry:reconnect")
@@ -514,11 +547,22 @@ class PlayerBase:
                                new_conn: TcpConnection) -> None:
         """Hook for subclasses tracking a designated connection."""
 
+    def _note_downshift(self, now: float, old_rate: float,
+                        new_rate: float) -> None:
+        """Telemetry hook for an adaptive rendition downshift."""
+        if self._telemetry.enabled:
+            self._telemetry.inc("player.downshifts")
+            self._telemetry.event("player.downshift", t=now,
+                                  old_rate=old_rate, new_rate=new_rate)
+
     def _fail(self, reason: str) -> None:
         if self.stopped:
             return
         self.failed = True
         self.fail_reason = reason
+        if self._telemetry.enabled:
+            self._telemetry.event("player.failed",
+                                  t=self.scheduler.clock.now(), reason=reason)
         self.stop(reason=f"failed:{reason}")
 
 
@@ -720,6 +764,7 @@ class IpadPlayer(PlayerBase):
         self.file_size = CONTAINER_HEADER_LEN + self.video.size_bytes_at(new_rate)
         self._next_offset = min(int(fraction * self.file_size), self.file_size)
         self.downshifts.append((now, old_rate, new_rate))
+        self._note_downshift(now, old_rate, new_rate)
         return True
 
 
@@ -839,4 +884,5 @@ class NetflixPlayer(PlayerBase):
         self.playback_rate_bps = new_rate
         self._steady_offset = int(position_s * new_rate / 8)
         self.downshifts.append((now, old_rate, new_rate))
+        self._note_downshift(now, old_rate, new_rate)
         return True

@@ -25,6 +25,12 @@ from ..simnet import (
 )
 from ..simnet.rng import derive_seed
 from ..tcp import TcpConfig
+from ..telemetry import (
+    Recorder,
+    SessionTelemetry,
+    current_recorder,
+    use_recorder,
+)
 from ..workloads.video import Video
 from .apps import Application, Container, Service, container_for_video
 from .client import (
@@ -97,6 +103,9 @@ class SessionResult:
     wasted_redownloaded_bytes: int = 0
     downshifts: List[Tuple[float, float, float]] = field(default_factory=list)
     fault_log: Optional[FaultLog] = None
+    #: Per-session telemetry snapshot; ``None`` unless the session ran
+    #: inside an enabled :func:`repro.telemetry.recording` scope.
+    telemetry: Optional[SessionTelemetry] = None
 
     @property
     def stall_time_s(self) -> float:
@@ -154,68 +163,113 @@ def _make_player(
 
 
 def run_session(video: Video, config: SessionConfig) -> SessionResult:
-    """Stream ``video`` once under ``config`` and capture the traffic."""
-    container = config.container or container_for_video(video, config.service)
-    session_seed = derive_seed(config.seed, f"session:{video.video_id}")
-    net, client_host, server_host, path = build_client_server(
-        config.profile, seed=session_seed
-    )
-    rng = net.rng.stream("player")
+    """Stream ``video`` once under ``config`` and capture the traffic.
 
-    capture = TraceCapture(name=f"{video.video_id}@{config.profile.name}")
-    capture.attach(path)
+    When the ambient :func:`repro.telemetry.current_recorder` is enabled,
+    the session records into a *private* recorder whose snapshot is
+    attached as ``result.telemetry`` — the engine merges those snapshots
+    in plan order, so recording never leaks between concurrent sessions
+    and ``jobs=N`` telemetry equals ``jobs=1`` telemetry.
+    """
+    if not current_recorder().enabled:
+        return _run_session_impl(video, config)
+    rec = Recorder()
+    with use_recorder(rec):
+        with rec.span("session"):
+            result = _run_session_impl(video, config)
+    result.telemetry = rec.snapshot()
+    return result
 
-    server_tcp = TcpConfig(
-        mss=config.mss,
-        recv_buffer=256 * 1024,
-        reset_cwnd_after_idle=config.server_reset_cwnd_after_idle,
-    )
-    server = VideoServer(
-        server_host,
-        net.scheduler,
-        {video.video_id: video},
-        tcp_config=server_tcp,
-        container_override=container,
-    )
 
-    policy = client_policy_for(config.service, container, config.application)
-    client_tcp = TcpConfig(mss=config.mss, recv_buffer=policy.recv_buffer)
-    player = _make_player(net, client_host, server_host.ip, video,
-                          config.service, container, config.application,
-                          rng, client_tcp, retry_policy=config.retry_policy)
-
-    fault_log: Optional[FaultLog] = None
-    if config.faults is not None:
-        fault_log = config.faults.apply(
-            net.scheduler, path, server=server, rng=net.rng.stream("faults"))
-
-    buffer_series: Optional[TimeSeries] = None
-    if config.probe_period:
-        probe = PeriodicProbe(
-            net.scheduler, config.probe_period,
-            lambda: player.buffer_level(), name="player-buffer",
+def _run_session_impl(video: Video, config: SessionConfig) -> SessionResult:
+    rec = current_recorder()
+    with rec.span("setup"):
+        container = (config.container
+                     or container_for_video(video, config.service))
+        session_seed = derive_seed(config.seed, f"session:{video.video_id}")
+        net, client_host, server_host, path = build_client_server(
+            config.profile, seed=session_seed
         )
-        probe.start()
-        buffer_series = probe.series
+        rng = net.rng.stream("player")
 
-    # user interruption: stop once beta * L seconds have been *watched*
-    if config.watch_fraction < 1.0:
-        watch_limit = config.watch_fraction * video.duration
+        capture = TraceCapture(name=f"{video.video_id}@{config.profile.name}")
+        capture.attach(path)
 
-        def interruption_check() -> None:
-            if player.stopped:
-                return
-            if player.playback_position_s() >= watch_limit:
-                player.stop("lack-of-interest")
-                return
+        server_tcp = TcpConfig(
+            mss=config.mss,
+            recv_buffer=256 * 1024,
+            reset_cwnd_after_idle=config.server_reset_cwnd_after_idle,
+        )
+        server = VideoServer(
+            server_host,
+            net.scheduler,
+            {video.video_id: video},
+            tcp_config=server_tcp,
+            container_override=container,
+        )
+
+        policy = client_policy_for(config.service, container,
+                                   config.application)
+        client_tcp = TcpConfig(mss=config.mss, recv_buffer=policy.recv_buffer)
+        player = _make_player(net, client_host, server_host.ip, video,
+                              config.service, container, config.application,
+                              rng, client_tcp,
+                              retry_policy=config.retry_policy)
+
+        fault_log: Optional[FaultLog] = None
+        if config.faults is not None:
+            fault_log = config.faults.apply(
+                net.scheduler, path, server=server,
+                rng=net.rng.stream("faults"))
+
+        buffer_series: Optional[TimeSeries] = None
+        if config.probe_period:
+            probe = PeriodicProbe(
+                net.scheduler, config.probe_period,
+                lambda: player.buffer_level(), name="player-buffer",
+            )
+            probe.start()
+            buffer_series = probe.series
+
+        # user interruption: stop once beta * L seconds have been *watched*
+        if config.watch_fraction < 1.0:
+            watch_limit = config.watch_fraction * video.duration
+
+            def interruption_check() -> None:
+                if player.stopped:
+                    return
+                if player.playback_position_s() >= watch_limit:
+                    player.stop("lack-of-interest")
+                    return
+                net.scheduler.after(0.25, interruption_check,
+                                    label="interrupt")
+
             net.scheduler.after(0.25, interruption_check, label="interrupt")
 
-        net.scheduler.after(0.25, interruption_check, label="interrupt")
+    if rec.enabled:
+        rec.event("session.start", t=0.0, video=video.video_id,
+                  profile=config.profile.name,
+                  service=config.service.name,
+                  application=config.application.name)
 
-    player.start()
-    net.run_until(config.capture_duration)
-    player.finalize_qoe(net.now())
-    capture.stop()
+    with rec.span("stream"):
+        player.start()
+        net.run_until(config.capture_duration)
+
+    with rec.span("finalize"):
+        player.finalize_qoe(net.now())
+        capture.stop()
+
+    if rec.enabled:
+        rec.inc("sessions.completed")
+        rec.inc("tcp.connections_opened", player.connections_opened)
+        rec.inc("pcap.packets", len(capture.records))
+        rec.observe("session.sim_seconds", net.now())
+        rec.observe("session.downloaded_bytes", player.downloaded)
+        rec.event("session.end", t=net.now(), video=video.video_id,
+                  downloaded=player.downloaded,
+                  finished=player.finished,
+                  rebuffers=player.rebuffer_count)
 
     return SessionResult(
         video=video,

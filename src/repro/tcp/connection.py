@@ -21,6 +21,7 @@ from typing import Callable, Optional
 
 from ..simnet.node import Host
 from ..simnet.scheduler import EventHandle, EventScheduler
+from ..telemetry import current_recorder
 from .congestion import NewRenoCongestion
 from .constants import (
     ACK,
@@ -135,6 +136,9 @@ class TcpConnection:
 
         self.state = CLOSED
         self.stats = TcpStats()
+        # Recorder captured once per connection: `_emit` runs per segment,
+        # so the disabled path must cost a single attribute check.
+        self._telemetry = current_recorder()
 
         # send side
         self.iss = self.config.iss
@@ -359,6 +363,12 @@ class TcpConnection:
             if seg.retransmission:
                 self.stats.retransmitted_segments += 1
                 self.stats.retransmitted_bytes += seg.payload_len
+        if self._telemetry.enabled:
+            self._telemetry.inc("tcp.segments_sent")
+            if seg.payload_len:
+                self._telemetry.inc("tcp.bytes_sent", seg.payload_len)
+                if seg.retransmission:
+                    self._telemetry.inc("tcp.retransmits")
         if seg.is_pure_ack:
             self.stats.acks_sent += 1
         self._last_activity = self.scheduler.clock.now()

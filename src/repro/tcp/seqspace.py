@@ -24,6 +24,7 @@ def seq_lt(a: int, b: int) -> bool:
 
 
 def seq_leq(a: int, b: int) -> bool:
+    """True when ``a <= b`` in 32-bit wrapping sequence space (RFC 1982)."""
     return a == b or seq_lt(a, b)
 
 

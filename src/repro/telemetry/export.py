@@ -1,0 +1,239 @@
+"""Exporters: the human profile summary and the JSONL trace dump.
+
+Two consumers, two formats:
+
+* :func:`summarize` renders the profile the ``repro profile`` CLI
+  prints — a flame-style per-phase table (span paths aggregated by
+  call count / total / mean / share of wall time), followed by counter,
+  gauge and histogram tables and the busiest event names.
+* :func:`write_jsonl` streams every record as one JSON object per line
+  (``{"kind": "span", ...}``), the lowest-common-denominator trace
+  format every ad-hoc analysis tool can slurp.
+
+This module depends only on the recorder — deliberately not on
+:mod:`repro.analysis` — so telemetry stays importable from every layer
+of the stack, including the ones analysis itself builds on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .recorder import (
+    EventRecord,
+    HistogramSummary,
+    Recorder,
+    SessionTelemetry,
+    SpanRecord,
+)
+
+__all__ = [
+    "aggregate_spans",
+    "summarize",
+    "write_jsonl",
+]
+
+TelemetryLike = Union[Recorder, SessionTelemetry]
+
+
+def _as_snapshot(telemetry: TelemetryLike) -> SessionTelemetry:
+    if isinstance(telemetry, SessionTelemetry):
+        return telemetry
+    return telemetry.snapshot()
+
+
+def aggregate_spans(
+    spans: Sequence[SpanRecord],
+) -> List[Tuple[str, int, float]]:
+    """Collapse raw span records into ``(path, calls, total_seconds)`` rows.
+
+    Rows come back sorted as a depth-first tree walk (parents before
+    children, siblings by total time descending), ready for indented
+    display.
+
+    >>> rows = aggregate_spans([
+    ...     SpanRecord("a", 0.0, 2.0), SpanRecord("a/b", 0.0, 1.5),
+    ...     SpanRecord("a/b", 2.0, 0.5)])
+    >>> [(p, n, t) for p, n, t in rows]
+    [('a', 1, 2.0), ('a/b', 2, 2.0)]
+    """
+    totals: Dict[str, Tuple[int, float]] = {}
+    for span in spans:
+        count, total = totals.get(span.path, (0, 0.0))
+        totals[span.path] = (count + 1, total + span.duration)
+
+    # Depth-first ordering: group children under their parent path,
+    # siblings sorted by total descending then name.
+    children: Dict[str, List[str]] = {}
+    for path in list(totals):
+        parent = path.rsplit("/", 1)[0] if "/" in path else ""
+        children.setdefault(parent, []).append(path)
+        # A child can exist without its parent having a span of its own
+        # (e.g. merged session spans under a since-closed engine span);
+        # materialize intermediate nodes so the walk reaches everything.
+        while parent and parent not in totals:
+            totals[parent] = (0, 0.0)
+            grand = parent.rsplit("/", 1)[0] if "/" in parent else ""
+            children.setdefault(grand, []).append(parent)
+            parent = grand
+
+    rows: List[Tuple[str, int, float]] = []
+
+    def walk(path: str) -> None:
+        if path:
+            count, total = totals[path]
+            rows.append((path, count, total))
+        kids = sorted(set(children.get(path, ())),
+                      key=lambda p: (-totals[p][1], p))
+        for kid in kids:
+            walk(kid)
+
+    walk("")
+    return rows
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.2f}s"
+    return f"{seconds * 1e3:7.1f}ms"
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+           align_left: int = 1) -> List[str]:
+    """Minimal fixed-width table (first ``align_left`` columns left-aligned)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.ljust(widths[i]) if i < align_left
+                         else cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def summarize(telemetry: TelemetryLike, title: Optional[str] = None,
+              max_events: int = 10) -> str:
+    """Render the profile: span tree, counters, gauges, histograms, events.
+
+    The span table is "flame-style": one row per distinct span path,
+    indented by depth, with the share of the root spans' total wall time
+    in the last column.  Under parallel execution a child row sums
+    CPU-seconds across workers, so its share can legitimately exceed
+    100% of the (wall-clock) root — that surplus *is* the speedup.
+    """
+    snap = _as_snapshot(telemetry)
+    lines: List[str] = []
+    if title:
+        lines += [title, "=" * len(title), ""]
+
+    span_rows = aggregate_spans(snap.spans)
+    root_total = sum(total for path, _, total in span_rows if "/" not in path)
+    if span_rows:
+        rendered = []
+        for path, count, total in span_rows:
+            depth = path.count("/")
+            name = path.rsplit("/", 1)[-1]
+            share = (100.0 * total / root_total) if root_total > 0 else 0.0
+            mean = total / count if count else 0.0
+            rendered.append((
+                "  " * depth + name,
+                str(count),
+                _format_seconds(total).strip(),
+                _format_seconds(mean).strip(),
+                f"{share:5.1f}%",
+            ))
+        lines += ["Phases (wall clock)"]
+        lines += _table(["phase", "calls", "total", "mean", "share"], rendered)
+        lines.append("")
+
+    if snap.counters:
+        rows = [(name, f"{value:g}")
+                for name, value in sorted(snap.counters.items())]
+        lines += ["Counters"]
+        lines += _table(["counter", "value"], rows)
+        lines.append("")
+
+    if snap.gauges:
+        rows = [(name, f"{value:g}")
+                for name, value in sorted(snap.gauges.items())]
+        lines += ["Gauges"]
+        lines += _table(["gauge", "value"], rows)
+        lines.append("")
+
+    if snap.histograms:
+        rows = [
+            (name, str(h.count), f"{h.mean:g}",
+             "-" if h.min is None else f"{h.min:g}",
+             "-" if h.max is None else f"{h.max:g}")
+            for name, h in sorted(snap.histograms.items())
+        ]
+        lines += ["Histograms"]
+        lines += _table(["histogram", "count", "mean", "min", "max"], rows)
+        lines.append("")
+
+    if snap.events:
+        by_name: Dict[str, int] = {}
+        for event in snap.events:
+            by_name[event.name] = by_name.get(event.name, 0) + 1
+        top = sorted(by_name.items(), key=lambda kv: (-kv[1], kv[0]))
+        rows = [(name, str(count)) for name, count in top[:max_events]]
+        lines += [f"Events ({len(snap.events)} total, "
+                  f"{len(by_name)} distinct)"]
+        lines += _table(["event", "count"], rows)
+        lines.append("")
+
+    if len(lines) == 0 or (title and len(lines) == 3):
+        lines.append("(no telemetry recorded)")
+    return "\n".join(lines).rstrip()
+
+
+def _event_to_json(event: EventRecord) -> dict:
+    record: dict = {"kind": "event", "name": event.name}
+    if event.t is not None:
+        record["t"] = event.t
+    if event.fields:
+        record["fields"] = dict(event.fields)
+    return record
+
+
+def write_jsonl(telemetry: TelemetryLike, path) -> int:
+    """Dump every record as one JSON object per line; returns line count.
+
+    Record kinds: ``span`` (path/start/duration, wall clock), ``event``
+    (name/simulated t/fields), ``counter``, ``gauge`` and ``histogram``.
+    Lines are sorted within each kind exactly as recorded/merged, so a
+    dump of a deterministic run is itself deterministic apart from span
+    timings.
+    """
+    snap = _as_snapshot(telemetry)
+    written = 0
+    with open(path, "w", encoding="utf-8") as f:
+        for span in snap.spans:
+            f.write(json.dumps({"kind": "span", "path": span.path,
+                                "start": span.start,
+                                "duration": span.duration}) + "\n")
+            written += 1
+        for event in snap.events:
+            f.write(json.dumps(_event_to_json(event)) + "\n")
+            written += 1
+        for name, value in sorted(snap.counters.items()):
+            f.write(json.dumps({"kind": "counter", "name": name,
+                                "value": value}) + "\n")
+            written += 1
+        for name, value in sorted(snap.gauges.items()):
+            f.write(json.dumps({"kind": "gauge", "name": name,
+                                "value": value}) + "\n")
+            written += 1
+        for name, hist in sorted(snap.histograms.items()):
+            f.write(json.dumps({
+                "kind": "histogram", "name": name, "count": hist.count,
+                "total": hist.total, "min": hist.min, "max": hist.max,
+            }) + "\n")
+            written += 1
+    return written

@@ -1,0 +1,63 @@
+"""Documentation guarantees, enforced as tests.
+
+Mirrors the CI docs job (``tools/docs_ci.py``): markdown doctests run,
+relative links resolve, every public export has a docstring, and the
+generated API reference is fresh.  Running it from pytest keeps doc rot
+visible locally, not just on CI.
+"""
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import docs_ci  # noqa: E402
+import gen_api_docs  # noqa: E402
+
+
+class TestDocsCi:
+    def test_markdown_files_are_discovered(self):
+        names = {p.name for p in docs_ci.markdown_files()}
+        assert {"README.md", "DESIGN.md", "EXPERIMENTS.md",
+                "ARCHITECTURE.md", "API.md"} <= names
+
+    def test_markdown_doctests_pass(self):
+        assert docs_ci.check_markdown_doctests() == []
+
+    def test_architecture_doc_carries_executable_examples(self):
+        # the determinism contract must stay executable, not prose-only
+        arch = ROOT / "docs" / "ARCHITECTURE.md"
+        assert list(docs_ci.iter_doctest_blocks(arch))
+
+    def test_relative_links_resolve(self):
+        assert docs_ci.check_links() == []
+
+    def test_broken_links_are_detected(self, tmp_path, monkeypatch):
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [x](no-such-file.md) and [y](README.md#nope)\n")
+        (tmp_path / "README.md").write_text("# Title\n")
+        monkeypatch.setattr(docs_ci, "markdown_files", lambda: [bad])
+        monkeypatch.setattr(docs_ci, "ROOT", tmp_path)
+        failures = docs_ci.check_links()
+        assert len(failures) == 2
+        assert any("broken link" in f for f in failures)
+        assert any("missing anchor" in f for f in failures)
+
+    def test_slugify_matches_github_anchors(self):
+        assert docs_ci._slugify("4. Telemetry (`repro.telemetry`)") \
+            == "4-telemetry-reprotelemetry"
+
+    def test_public_exports_have_docstrings(self):
+        assert docs_ci.check_docstrings() == []
+
+    def test_api_reference_is_fresh(self):
+        assert docs_ci.check_api_freshness() == []
+
+    def test_generated_api_covers_every_public_module(self):
+        text = (ROOT / "docs" / "API.md").read_text()
+        for dotted in gen_api_docs.PUBLIC_MODULES:
+            assert f"## `{dotted}`" in text
+
+    def test_generation_is_deterministic(self):
+        assert gen_api_docs.generate() == gen_api_docs.generate()

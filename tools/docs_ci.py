@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Docs CI: keep the documentation true.
+
+Four checks, each importable by the test suite and runnable standalone:
+
+1. **Doctests in markdown** — every ```` ```python ```` fence containing
+   ``>>>`` prompts in the repo's markdown files is executed as a doctest.
+   Documentation examples that stop working fail the build.
+2. **Link check** — every relative markdown link must point at a file
+   that exists; fragment links (``#section``) must match a heading in
+   the target file (GitHub slug rules).  External links are not fetched.
+3. **Docstring audit** — every symbol exported via ``__all__`` from the
+   public packages (see ``gen_api_docs.PUBLIC_MODULES``) must have a
+   docstring.
+4. **API freshness** — ``docs/API.md`` must match what
+   ``tools/gen_api_docs.py`` would generate right now.
+
+Usage::
+
+    PYTHONPATH=src python tools/docs_ci.py           # run everything
+    PYTHONPATH=src python tools/docs_ci.py --list    # show the files covered
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import inspect
+import importlib
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import gen_api_docs  # noqa: E402  (sibling tool, shared module list)
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files under docs CI.  ISSUE/ROADMAP/PAPERS are working notes
+#: for the growth process, not user documentation.
+EXCLUDED = {"ISSUE.md", "ROADMAP.md", "PAPERS.md", "SNIPPETS.md", "PAPER.md"}
+
+_FENCE = re.compile(r"```python[^\n]*\n(.*?)```", re.S)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.M)
+
+
+def markdown_files() -> List[Path]:
+    """Markdown files covered by docs CI, repo root plus ``docs/``."""
+    files = sorted(ROOT.glob("*.md")) + sorted((ROOT / "docs").glob("*.md"))
+    return [p for p in files if p.name not in EXCLUDED]
+
+
+# -- 1. doctests embedded in markdown ----------------------------------------
+
+def iter_doctest_blocks(path: Path) -> Iterator[Tuple[int, str]]:
+    """``(block_index, source)`` for python fences with ``>>>`` prompts."""
+    text = path.read_text()
+    for i, block in enumerate(_FENCE.findall(text)):
+        if ">>>" in block:
+            yield i, block
+
+
+def check_markdown_doctests() -> List[str]:
+    """Run every markdown doctest block; return failure descriptions."""
+    failures: List[str] = []
+    parser = doctest.DocTestParser()
+    for path in markdown_files():
+        for index, source in iter_doctest_blocks(path):
+            name = f"{path.relative_to(ROOT)}[block {index}]"
+            test = parser.get_doctest(source, {}, name, str(path), 0)
+            runner = doctest.DocTestRunner(verbose=False)
+            out: List[str] = []
+            result = runner.run(test, out=out.append)
+            if result.failed:
+                failures.append(f"{name}: {result.failed} of "
+                                f"{result.attempted} examples failed\n"
+                                + "".join(out))
+    return failures
+
+
+# -- 2. relative links --------------------------------------------------------
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    heading = re.sub(r"[`*_]", "", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    return {_slugify(h) for h in _HEADING.findall(path.read_text())}
+
+
+def check_links() -> List[str]:
+    """Validate relative links (and their fragments) in markdown files."""
+    failures: List[str] = []
+    for path in markdown_files():
+        for target in _LINK.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, fragment = target.partition("#")
+            dest = (path.parent / base).resolve() if base else path
+            if not dest.exists():
+                failures.append(f"{path.relative_to(ROOT)}: broken link "
+                                f"-> {target}")
+                continue
+            if fragment and dest.suffix == ".md" \
+                    and fragment not in _anchors(dest):
+                failures.append(f"{path.relative_to(ROOT)}: missing anchor "
+                                f"-> {target}")
+    return failures
+
+
+# -- 3. docstring audit -------------------------------------------------------
+
+def check_docstrings() -> List[str]:
+    """Every ``__all__`` export of the public packages needs a docstring."""
+    failures: List[str] = []
+    for module_name in gen_api_docs.PUBLIC_MODULES:
+        module = importlib.import_module(module_name)
+        for name, obj in gen_api_docs.iter_exports(module):
+            if not (inspect.isclass(obj) or inspect.isroutine(obj)
+                    or inspect.ismodule(obj)):
+                continue  # constants/instances document via their type
+            if not inspect.getdoc(obj):
+                failures.append(f"{module_name}.{name}: missing docstring")
+    return failures
+
+
+# -- 4. generated API reference -----------------------------------------------
+
+def check_api_freshness() -> List[str]:
+    """``docs/API.md`` must match a fresh generation."""
+    target = ROOT / "docs" / "API.md"
+    if not target.exists():
+        return ["docs/API.md does not exist — run tools/gen_api_docs.py"]
+    if target.read_text() != gen_api_docs.generate():
+        return ["docs/API.md is stale — rerun "
+                "`PYTHONPATH=src python tools/gen_api_docs.py`"]
+    return []
+
+
+CHECKS = [
+    ("markdown doctests", check_markdown_doctests),
+    ("links", check_links),
+    ("docstrings", check_docstrings),
+    ("API freshness", check_api_freshness),
+]
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--list", action="store_true",
+                    help="print the markdown files under docs CI and exit")
+    args = ap.parse_args(argv)
+    if args.list:
+        for path in markdown_files():
+            print(path.relative_to(ROOT))
+        return 0
+
+    status = 0
+    for label, check in CHECKS:
+        failures = check()
+        if failures:
+            status = 1
+            print(f"FAIL {label}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+        else:
+            print(f"ok   {label}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
