@@ -85,6 +85,11 @@ class FlowData:
         return advance
 
     @property
+    def packet_count(self) -> int:
+        """Downstream data packets seen on this flow (retransmissions included)."""
+        return len(self.activity)
+
+    @property
     def retransmission_rate(self) -> float:
         if self.total_payload_bytes == 0:
             return 0.0
@@ -119,6 +124,11 @@ class DownloadTrace:
             return 0.0
         retx = sum(f.retransmitted_bytes for f in self.flows.values())
         return retx / payload
+
+    @property
+    def packet_count(self) -> int:
+        """Downstream data packets across all flows (retransmissions included)."""
+        return sum(f.packet_count for f in self.flows.values())
 
     @property
     def flow_count(self) -> int:

@@ -17,8 +17,19 @@ Commands:
   event summary (``--trace out.jsonl`` dumps the raw records).  The
   experiment's own output is unchanged by recording; ``--report`` prints
   it too.
+* ``bench`` — run a named experiment suite at a chosen scale and write a
+  schema-versioned ``BENCH_<gitsha>.json`` perf snapshot (wall time,
+  sessions/sec, peak RSS, cache hits/misses, telemetry span totals);
+  ``bench --compare A.json B.json`` diffs two snapshots and exits
+  non-zero on wall-time regressions beyond ``--threshold``.
 * ``list`` — show the available experiments (title and paper reference
-  from the registry), applications and networks.
+  from the registry), applications and networks; ``--json`` emits the
+  experiment registry as machine-readable JSON.
+
+The ``experiment`` command doubles as the campaign observatory:
+``--progress`` keeps a live status line on stderr, and ``--flows`` /
+``--metrics`` export per-session flow records and metric time-series
+(format chosen by file suffix: ``.jsonl``, ``.csv``, ``.prom``).
 """
 
 from __future__ import annotations
@@ -100,6 +111,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--no-cache", action="store_true",
         help="disable the result cache even if $REPRO_CACHE_DIR is set")
+    p_exp.add_argument(
+        "--progress", action="store_true",
+        help="live single-line progress on stderr (done/total, rate, ETA, "
+             "cache hits; default off)")
+    p_exp.add_argument(
+        "--flows", default=None, metavar="FILE",
+        help="export per-session flow records; format from the suffix "
+             "(.jsonl, .csv, .prom/.txt)")
+    p_exp.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="export per-session metric time-series; format from the "
+             "suffix (.jsonl, .csv, .prom/.txt)")
 
     p_prof = sub.add_parser(
         "profile",
@@ -127,7 +150,45 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the experiment's normal report before the profile "
              "(byte-identical to a run without telemetry)")
 
-    sub.add_parser("list", help="show experiments, applications, networks")
+    p_bench = sub.add_parser(
+        "bench",
+        help="run a perf snapshot suite and write BENCH_<gitsha>.json, "
+             "or --compare two snapshots")
+    p_bench.add_argument(
+        "suite", nargs="*", metavar="NAME",
+        help="experiment names to benchmark (default: the quick suite)")
+    p_bench.add_argument("--scale", default="small",
+                         choices=["small", "medium", "full"])
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes while benchmarking (recorded in the file)")
+    p_bench.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="run against this result cache (hit/miss counts are recorded)")
+    p_bench.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if $REPRO_CACHE_DIR is set")
+    p_bench.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output path (default: BENCH_<gitsha>.json in the cwd)")
+    p_bench.add_argument(
+        "--compare", nargs=2, metavar=("BASE", "NEW"), default=None,
+        help="diff two bench files instead of running; exits 1 on "
+             "regressions beyond --threshold")
+    p_bench.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRAC",
+        help="relative wall-time slowdown tolerated by --compare "
+             "(default 0.25 = +25%%)")
+    p_bench.add_argument(
+        "--report-only", action="store_true",
+        help="with --compare: print the diff but always exit 0")
+
+    p_list = sub.add_parser(
+        "list", help="show experiments, applications, networks")
+    p_list.add_argument(
+        "--json", action="store_true",
+        help="emit the experiment registry as JSON on stdout")
     return parser
 
 
@@ -265,7 +326,12 @@ def _resolve_cache(args):
 def _cmd_experiment(args) -> int:
     from .analysis import format_table
     from .experiments import REGISTRY, SCALES
-    from .runner import RunStats
+    from .runner import (
+        NULL_OBSERVER,
+        CompositeRunObserver,
+        RunStats,
+        engine_options,
+    )
 
     scale = SCALES[args.scale]
     names = list(REGISTRY) if args.name == "all" else [args.name]
@@ -275,17 +341,53 @@ def _cmd_experiment(args) -> int:
               f"know {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
     cache = _resolve_cache(args)
+    # the observatory: progress + collection ride the engine observer
+    # hook; with neither flag the observer stays NULL_OBSERVER and the
+    # engine takes its zero-cost path
+    observers = []
+    progress = None
+    collector = None
+    if args.progress:
+        from .obs import ProgressReporter
+
+        progress = ProgressReporter()
+        observers.append(progress)
+    if args.flows or args.metrics:
+        from .obs import CampaignCollector
+
+        collector = CampaignCollector()
+        observers.append(collector)
+    observer = (CompositeRunObserver(*observers) if observers
+                else NULL_OBSERVER)
     summary = []
-    for name in names:
-        spec = REGISTRY[name]
-        stats = RunStats()
-        started = time.perf_counter()
-        result = spec.run(scale, seed=args.seed, jobs=args.jobs,
-                          cache=cache, stats=stats)
-        elapsed = time.perf_counter() - started
-        print(result.report())
-        print()
-        summary.append((spec, elapsed, stats))
+    reports = []
+    with engine_options(observer=observer):
+        for name in names:
+            spec = REGISTRY[name]
+            stats = RunStats()
+            started = time.perf_counter()
+            result = spec.run(scale, seed=args.seed, jobs=args.jobs,
+                              cache=cache, stats=stats)
+            elapsed = time.perf_counter() - started
+            if progress is not None:
+                # hold reports until the stderr status line is released
+                reports.append(result.report())
+            else:
+                print(result.report())
+                print()
+            summary.append((spec, elapsed, stats))
+    if progress is not None:
+        progress.close()
+        for report in reports:
+            print(report)
+            print()
+    if collector is not None:
+        if args.flows:
+            n = collector.write_flows(args.flows)
+            print(f"flows written  : {args.flows} ({n} records)")
+        if args.metrics:
+            n = collector.write_metrics(args.metrics)
+            print(f"metrics written: {args.metrics} ({n} samples)")
     if len(summary) > 1:
         rows = [
             (spec.name, spec.paper, f"{elapsed:.1f}", stats.sessions,
@@ -338,10 +440,68 @@ def _cmd_profile(args) -> int:
     return 0
 
 
-def _cmd_list() -> int:
+def _cmd_bench(args) -> int:
+    from .obs import bench as obs_bench
+
+    if args.compare:
+        base_path, new_path = args.compare
+        try:
+            baseline = obs_bench.load_bench(base_path)
+            candidate = obs_bench.load_bench(new_path)
+        except (OSError, ValueError) as exc:
+            print(f"bench compare: {exc}", file=sys.stderr)
+            return 2
+        regressions = obs_bench.compare(baseline, candidate,
+                                        threshold=args.threshold)
+        print(obs_bench.format_comparison(baseline, candidate,
+                                          regressions, args.threshold))
+        if regressions and not args.report_only:
+            return 1
+        return 0
+
+    from .experiments import REGISTRY
+
+    names = list(args.suite) or list(obs_bench.QUICK_SUITE)
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"know {', '.join(REGISTRY)}", file=sys.stderr)
+        return 2
+    cache = _resolve_cache(args)
+    writer = obs_bench.BenchWriter("repro bench", args.scale,
+                                   jobs=args.jobs, seed=args.seed)
+    entries, _ = obs_bench.run_suite(names, args.scale, seed=args.seed,
+                                     jobs=args.jobs, cache=cache)
+    for name, entry in entries.items():
+        writer.add(name, entry.pop("wall_s"), **entry)
+    if cache is not None:
+        stats = cache.stats()
+        print(f"cache          : {stats['entries']} entries, "
+              f"{stats['bytes']} bytes")
+    path = writer.write(args.out)
+    for name, entry in sorted(writer.entries.items()):
+        print(f"{name:<20} {entry['wall_s']:8.3f}s  "
+              f"{entry.get('units_per_sec', 0):8.1f} units/s  "
+              f"hits {entry.get('cache_hits', 0)}")
+    print(f"bench written  : {path}")
+    return 0
+
+
+def _cmd_list(args) -> int:
     from .analysis import format_table
     from .experiments import REGISTRY
     from .simnet import PROFILES
+
+    if args.json:
+        import json
+
+        payload = [
+            {"name": spec.name, "title": spec.title, "paper": spec.paper,
+             "tags": list(spec.tags)}
+            for spec in REGISTRY.values()
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
 
     rows = [
         (spec.name, spec.paper, spec.title, ", ".join(spec.tags))
@@ -366,8 +526,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "list":
-        return _cmd_list()
+        return _cmd_list(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

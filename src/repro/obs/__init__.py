@@ -1,0 +1,72 @@
+"""Campaign observability: exporters, live progress, and the repro bench.
+
+The layers below this one *compute*; ``repro.obs`` *watches*.  It sits at
+the top of the stack (above analysis, streaming and the runner) and
+never feeds anything back down — enabling any part of it cannot change
+a result, an analysis, or a cache fingerprint.  Three pillars:
+
+* **Exporters** (:mod:`~repro.obs.flows`, :mod:`~repro.obs.metrics`,
+  :mod:`~repro.obs.exporters`, :mod:`~repro.obs.collect`) — turn each
+  session into NetFlow/IPFIX-style flow records and metric time-series
+  and serialize them to JSONL, CSV, or Prometheus text exposition.
+  Exports are deterministic: byte-identical for any ``--jobs`` value and
+  with telemetry recording on or off.
+* **Live progress** (:mod:`~repro.obs.progress`) — an opt-in engine
+  observer keeping one ``\\r``-rewritten status line on stderr
+  (done/total, rate, ETA, cache-hit/fault/retry counts).  Default-off
+  behind the same single-guard pattern as the telemetry layer.
+* **Bench** (:mod:`~repro.obs.bench`) — the ``repro bench``
+  perf-regression tracker: run a suite, write a schema-versioned
+  ``BENCH_<gitsha>.json``, and ``--compare`` two of them with a
+  configurable regression threshold.
+
+See ``docs/OBSERVABILITY.md`` for formats and workflows.
+"""
+
+from .bench import (
+    BENCH_SCHEMA,
+    BenchWriter,
+    QUICK_SUITE,
+    Regression,
+    compare,
+    format_comparison,
+    git_sha,
+    load_bench,
+    peak_rss_kb,
+    run_suite,
+)
+from .collect import CampaignCollector
+from .exporters import (
+    export_records,
+    prometheus_lines,
+    write_csv,
+    write_jsonl,
+    write_prometheus,
+)
+from .flows import FLOW_FIELDS, flow_records
+from .metrics import METRIC_FIELDS, metric_samples
+from .progress import ProgressReporter
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchWriter",
+    "CampaignCollector",
+    "FLOW_FIELDS",
+    "METRIC_FIELDS",
+    "ProgressReporter",
+    "QUICK_SUITE",
+    "Regression",
+    "compare",
+    "export_records",
+    "flow_records",
+    "format_comparison",
+    "git_sha",
+    "load_bench",
+    "metric_samples",
+    "peak_rss_kb",
+    "prometheus_lines",
+    "run_suite",
+    "write_csv",
+    "write_jsonl",
+    "write_prometheus",
+]

@@ -1,0 +1,253 @@
+"""The perf-regression tracker: ``BENCH_<gitsha>.json`` write + compare.
+
+Three perf-relevant PRs went by with no recorded trajectory; this module
+is the fix.  One schema, two producers, one consumer:
+
+* :class:`BenchWriter` accumulates per-experiment entries (wall time,
+  units/sec, cache hits, peak RSS, telemetry span totals) and writes a
+  schema-versioned ``BENCH_<gitsha>.json``.  Both ``repro bench`` and
+  the ``pytest benchmarks/`` harness (``benchmarks/conftest.py``) write
+  through it, so the two feed one comparable trajectory.
+* :func:`run_suite` runs a named experiment suite at a chosen scale and
+  produces those entries.
+* :func:`compare` diffs two bench files and reports the entries whose
+  wall time regressed beyond a threshold — the check CI runs across
+  consecutive commits.
+
+Bench files measure *this machine, this commit*: wall times are only
+comparable between files produced on comparable hardware, which is why
+``compare`` is a ratio test with a generous default threshold rather
+than an absolute budget.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchWriter",
+    "Regression",
+    "QUICK_SUITE",
+    "compare",
+    "format_comparison",
+    "git_sha",
+    "load_bench",
+    "peak_rss_kb",
+    "run_suite",
+]
+
+#: Schema identifier stamped into (and required of) every bench file.
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: The fast default suite for ``repro bench``: covers the session
+#: engine, analysis pipeline, the analytic model and the fault/retry
+#: machinery in a few seconds at small scale.
+QUICK_SUITE = ("fig1", "fig2", "model_validation", "ext_fault_recovery")
+
+
+def git_sha(root: Optional[Path] = None) -> str:
+    """The current commit's short sha; ``$REPRO_GIT_SHA`` or ``nogit``
+    when the tree is not a git checkout (CI tarballs, sdists)."""
+    env = os.environ.get("REPRO_GIT_SHA")
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(root) if root else None,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "nogit"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "nogit"
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process and its children, in kB."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = max(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+               resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    # ru_maxrss is kilobytes on Linux, bytes on macOS
+    return peak // 1024 if sys.platform == "darwin" else peak
+
+
+class BenchWriter:
+    """Accumulate bench entries and write one ``BENCH_<gitsha>.json``.
+
+    The shared writer behind ``repro bench`` and the pytest benchmark
+    harness: one schema, one filename convention, one trajectory.
+    """
+
+    def __init__(self, source: str, scale: str, *, jobs: int = 1,
+                 seed: int = 0, sha: Optional[str] = None) -> None:
+        self.source = source
+        self.scale = scale
+        self.jobs = jobs
+        self.seed = seed
+        self.sha = sha or git_sha()
+        self.entries: Dict[str, Dict] = {}
+
+    def add(self, name: str, wall_s: float, **metrics) -> None:
+        """Record one entry; re-adding a name overwrites it."""
+        entry = {"wall_s": round(wall_s, 6)}
+        entry.update(metrics)
+        self.entries[name] = entry
+
+    def payload(self) -> Dict:
+        """The schema-versioned document :meth:`write` serializes."""
+        return {
+            "schema": BENCH_SCHEMA,
+            "git_sha": self.sha,
+            "source": self.source,
+            "scale": self.scale,
+            "jobs": self.jobs,
+            "seed": self.seed,
+            "entries": {name: self.entries[name]
+                        for name in sorted(self.entries)},
+        }
+
+    def write(self, path=None) -> Path:
+        """Write the bench file; default name ``BENCH_<gitsha>.json``."""
+        target = Path(path) if path is not None \
+            else Path(f"BENCH_{self.sha}.json")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.payload(), indent=2) + "\n")
+        return target
+
+
+def load_bench(path) -> Dict:
+    """Load and validate a bench file; raises ``ValueError`` on schema
+    mismatch so ``--compare`` never silently diffs incompatible files."""
+    data = json.loads(Path(path).read_text())
+    schema = data.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {schema!r} is not {BENCH_SCHEMA!r}"
+        )
+    if not isinstance(data.get("entries"), dict):
+        raise ValueError(f"{path}: missing entries mapping")
+    return data
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One entry whose wall time regressed beyond the threshold."""
+
+    name: str
+    base_wall_s: float
+    new_wall_s: float
+
+    @property
+    def ratio(self) -> float:
+        """Slowdown factor (new over base)."""
+        return (self.new_wall_s / self.base_wall_s
+                if self.base_wall_s > 0 else float("inf"))
+
+
+def compare(baseline: Dict, candidate: Dict,
+            threshold: float = 0.25) -> List[Regression]:
+    """Entries of ``candidate`` slower than ``baseline`` by > ``threshold``.
+
+    Only entries present in both files are compared (suite membership
+    may legitimately change between commits); the comparison key is
+    wall time, the one number every producer records.
+    """
+    regressions = []
+    base_entries = baseline["entries"]
+    for name, entry in sorted(candidate["entries"].items()):
+        base = base_entries.get(name)
+        if base is None:
+            continue
+        base_wall = float(base["wall_s"])
+        new_wall = float(entry["wall_s"])
+        if base_wall > 0 and new_wall > base_wall * (1.0 + threshold):
+            regressions.append(Regression(name, base_wall, new_wall))
+    return regressions
+
+
+def format_comparison(baseline: Dict, candidate: Dict,
+                      regressions: Sequence[Regression],
+                      threshold: float) -> str:
+    """Human-readable diff table for ``repro bench --compare``."""
+    flagged = {r.name for r in regressions}
+    lines = [
+        f"bench compare — base {baseline.get('git_sha', '?')} "
+        f"vs new {candidate.get('git_sha', '?')} "
+        f"(threshold +{threshold:.0%})",
+    ]
+    names = sorted(set(baseline["entries"]) | set(candidate["entries"]))
+    width = max(len(n) for n in names) if names else 4
+    for name in names:
+        base = baseline["entries"].get(name)
+        new = candidate["entries"].get(name)
+        if base is None or new is None:
+            status = "only in " + ("new" if base is None else "base")
+            lines.append(f"  {name:<{width}}  {status}")
+            continue
+        base_wall = float(base["wall_s"])
+        new_wall = float(new["wall_s"])
+        delta = (new_wall / base_wall - 1.0) if base_wall > 0 else float("inf")
+        marker = "REGRESSION" if name in flagged else "ok"
+        lines.append(
+            f"  {name:<{width}}  {base_wall:8.3f}s -> {new_wall:8.3f}s  "
+            f"{delta:+7.1%}  {marker}"
+        )
+    lines.append(
+        f"{len(regressions)} regression(s) beyond +{threshold:.0%}"
+    )
+    return "\n".join(lines)
+
+
+def run_suite(names: Sequence[str], scale_name: str = "small", *,
+              seed: int = 0, jobs: int = 1,
+              cache=None) -> Tuple[Dict[str, Dict], List[str]]:
+    """Run each named experiment once and measure it.
+
+    Returns ``(entries, reports)``: per-experiment bench entries (wall
+    time, units/sec, cache hits/misses, peak RSS, telemetry span
+    totals) and the rendered experiment reports.  Experiments run under
+    a live telemetry recorder — recording never changes results, and
+    the span totals become part of the trajectory.
+    """
+    from ..experiments import REGISTRY, SCALES
+    from ..runner import RunStats
+    from ..telemetry import recording
+
+    scale = SCALES[scale_name]
+    entries: Dict[str, Dict] = {}
+    reports: List[str] = []
+    for name in names:
+        spec = REGISTRY[name]
+        stats = RunStats()
+        started = time.perf_counter()
+        with recording() as rec:
+            result = spec.run(scale, seed=seed, jobs=jobs, cache=cache,
+                              stats=stats)
+        wall = time.perf_counter() - started
+        reports.append(result.report())
+        root_span_s = sum(s.duration for s in rec.spans
+                          if "/" not in s.path)
+        entries[name] = {
+            "wall_s": round(wall, 6),
+            "units": stats.sessions,
+            "units_per_sec": round(stats.sessions / wall, 3) if wall > 0
+            else 0.0,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "peak_rss_kb": peak_rss_kb(),
+            "spans": len(rec.spans),
+            "span_total_s": round(root_span_s, 6),
+        }
+    return entries, reports

@@ -1,0 +1,117 @@
+"""The campaign collector: engine observer that gathers session results.
+
+Experiments consume :class:`SessionResult` objects and throw them away
+once analyzed; the collector is how the observability layer gets hold of
+them without touching any experiment.  Installed as the ambient engine
+observer (:func:`repro.runner.engine_options`), it receives every
+``run_sessions`` batch **in plan order** and assigns each session a
+sequential id — batches themselves run sequentially inside an
+experiment, so ids, and therefore exports, are identical for any
+``--jobs`` value and identical with telemetry recording on or off.
+
+Results coming back from ``run_tasks`` (Monte-Carlo batches, cohort
+aggregates) are not sessions and are ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..runner.pool import NullRunObserver
+from ..streaming.session import SessionResult
+from .exporters import export_records
+from .flows import FLOW_FIELDS, flow_records
+from .metrics import METRIC_FIELDS, metric_samples
+
+__all__ = [
+    "CampaignCollector",
+]
+
+#: Flow-record fields emitted on the Prometheus rendering of a flow
+#: export (numeric/boolean fields only; the rest become labels).
+_FLOW_PROM_FIELDS = (
+    "packets",
+    "bytes",
+    "unique_bytes",
+    "retransmitted_bytes",
+    "retransmission_rate",
+    "onoff_blocks",
+    "rebuffer_count",
+    "stall_time_s",
+    "retry_count",
+    "fault_events",
+)
+
+
+class CampaignCollector(NullRunObserver):
+    """Collect every session a campaign runs, in deterministic order.
+
+    Usage::
+
+        collector = CampaignCollector()
+        with engine_options(observer=collector):
+            spec.run(scale, seed=0)
+        collector.write_flows("flows.jsonl")
+        collector.write_metrics("metrics.prom")
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.sessions: List[Tuple[str, SessionResult]] = []
+
+    def batch_finished(self, values) -> None:
+        """Adopt the batch's session results (plan order), skipping
+        non-session task values."""
+        for value in values:
+            if isinstance(value, SessionResult):
+                self.sessions.append((f"s{len(self.sessions):04d}", value))
+
+    # -- exports -------------------------------------------------------------
+
+    def flow_records(self) -> List[Dict]:
+        """Flow records for every collected session, in session order."""
+        records: List[Dict] = []
+        for session_id, result in self.sessions:
+            records.extend(flow_records(result, session_id))
+        return records
+
+    def metric_samples(self) -> List[Dict]:
+        """Metric samples for every collected session, in session order."""
+        samples: List[Dict] = []
+        for session_id, result in self.sessions:
+            samples.extend(metric_samples(result, session_id))
+        return samples
+
+    def write_flows(self, path) -> int:
+        """Export flow records in the format implied by ``path``'s suffix.
+
+        The Prometheus rendering flattens each flow record into one
+        sample per numeric field (``repro_flow_bytes{...}`` etc.) with
+        the 5-tuple and session id as labels.
+        """
+        from pathlib import Path
+
+        if Path(path).suffix.lower() in (".prom", ".txt"):
+            samples = []
+            for record in self.flow_records():
+                for field in _FLOW_PROM_FIELDS:
+                    samples.append({
+                        "metric": f"flow_{field}",
+                        "session": record["session"],
+                        "src": f"{record['src_ip']}:{record['src_port']}",
+                        "dst": f"{record['dst_ip']}:{record['dst_port']}",
+                        "value": record[field],
+                    })
+            return export_records(
+                samples, path, timestamp_key=None,
+                label_keys=("session", "src", "dst"),
+            )
+        return export_records(self.flow_records(), path, fields=FLOW_FIELDS)
+
+    def write_metrics(self, path) -> int:
+        """Export metric samples in the format implied by ``path``'s suffix."""
+        return export_records(
+            self.metric_samples(), path, fields=METRIC_FIELDS,
+            label_keys=("session", "conn"),
+        )

@@ -1,0 +1,155 @@
+"""Serializers: JSONL, CSV and Prometheus text exposition format.
+
+One record schema (plain dicts, see :mod:`repro.obs.flows` and
+:mod:`repro.obs.metrics`), three wire formats:
+
+* **JSONL** — one JSON object per line, insertion-ordered keys; the
+  lowest-common-denominator format every analysis tool slurps.
+* **CSV** — fixed column order (the caller supplies it), ``""`` for
+  ``None``; loads straight into pandas/R/spreadsheets.
+* **Prometheus text exposition** — ``metric{labels} value [timestamp]``
+  lines with ``# TYPE`` headers, suitable for a file-based scrape
+  (node_exporter's textfile collector) or a pushgateway.
+
+All three are deterministic: records are written in the order given,
+floats render via ``repr`` round-trip formatting, and nothing consults
+the clock — the byte-identity guarantees of the engine carry through to
+the files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "export_records",
+    "prometheus_lines",
+    "write_csv",
+    "write_jsonl",
+    "write_prometheus",
+]
+
+_LABEL_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def write_jsonl(records: Sequence[Dict], path) -> int:
+    """Write one JSON object per line; returns the line count."""
+    with open(path, "w", encoding="utf-8") as f:
+        for record in records:
+            f.write(json.dumps(record) + "\n")
+    return len(records)
+
+
+def write_csv(records: Sequence[Dict], path,
+              fields: Optional[Sequence[str]] = None) -> int:
+    """Write records as CSV; returns the data-row count.
+
+    ``fields`` fixes the column order; when omitted it is the union of
+    keys in first-seen order.  Missing values render as empty cells.
+    """
+    if fields is None:
+        seen: Dict[str, None] = {}
+        for record in records:
+            for key in record:
+                seen.setdefault(key, None)
+        fields = list(seen)
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=list(fields),
+                                restval="", extrasaction="ignore")
+        writer.writeheader()
+        for record in records:
+            writer.writerow({k: ("" if v is None else v)
+                             for k, v in record.items()})
+    return len(records)
+
+
+def _prom_name(name: str) -> str:
+    return _LABEL_SANITIZE.sub("_", name)
+
+
+def _prom_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value) if isinstance(value, float) else str(value)
+    raise TypeError(f"not a Prometheus sample value: {value!r}")
+
+
+def prometheus_lines(records: Sequence[Dict], *, prefix: str = "repro",
+                     value_key: str = "value",
+                     timestamp_key: Optional[str] = "t",
+                     metric_key: str = "metric",
+                     label_keys: Sequence[str] = ("session",)) -> List[str]:
+    """Render records as Prometheus text-exposition lines.
+
+    Each record contributes one ``<prefix>_<metric>{labels} value [ts]``
+    line; a ``# TYPE`` header (gauge) precedes the first sample of each
+    metric.  Timestamps are converted from simulated seconds to the
+    format's milliseconds; pass ``timestamp_key=None`` to omit them.
+
+    >>> prometheus_lines([
+    ...     {"metric": "up", "session": "s0", "t": 1.5, "value": 2.0}])
+    ['# TYPE repro_up gauge', 'repro_up{session="s0"} 2.0 1500']
+    """
+    lines: List[str] = []
+    typed = set()
+    for record in records:
+        name = f"{prefix}_{_prom_name(str(record[metric_key]))}"
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} gauge")
+        labels = ",".join(
+            f'{_prom_name(key)}="{record[key]}"'
+            for key in label_keys if record.get(key) is not None
+        )
+        line = f"{name}{{{labels}}} {_prom_value(record[value_key])}"
+        if timestamp_key is not None and record.get(timestamp_key) is not None:
+            line += f" {int(record[timestamp_key] * 1000)}"
+        lines.append(line)
+    return lines
+
+
+def write_prometheus(records: Sequence[Dict], path, **kwargs) -> int:
+    """Write records in Prometheus text exposition format; returns the
+    sample-line count (``# TYPE`` headers excluded)."""
+    lines = prometheus_lines(records, **kwargs)
+    with open(path, "w", encoding="utf-8") as f:
+        for line in lines:
+            f.write(line + "\n")
+    return sum(1 for line in lines if not line.startswith("#"))
+
+
+#: File-suffix → format dispatch used by :func:`export_records`.
+_SUFFIXES = {
+    ".jsonl": "jsonl",
+    ".csv": "csv",
+    ".prom": "prometheus",
+    ".txt": "prometheus",
+}
+
+
+def export_records(records: Sequence[Dict], path, *,
+                   fields: Optional[Sequence[str]] = None,
+                   **prom_kwargs) -> int:
+    """Write ``records`` in the format implied by the file suffix.
+
+    ``.jsonl`` → JSONL, ``.csv`` → CSV (ordered by ``fields``),
+    ``.prom``/``.txt`` → Prometheus exposition (``prom_kwargs`` forwarded
+    to :func:`prometheus_lines`).  Returns the record/sample count.
+    """
+    suffix = Path(path).suffix.lower()
+    fmt = _SUFFIXES.get(suffix)
+    if fmt is None:
+        raise ValueError(
+            f"cannot infer export format from {path!r}; use one of "
+            f"{', '.join(sorted(_SUFFIXES))}"
+        )
+    if fmt == "jsonl":
+        return write_jsonl(records, path)
+    if fmt == "csv":
+        return write_csv(records, path, fields)
+    return write_prometheus(records, path, **prom_kwargs)

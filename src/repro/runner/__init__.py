@@ -20,6 +20,9 @@ Public API:
 * :func:`engine_options`, :class:`EngineOptions`, :class:`RunStats`,
   :func:`current_options` — ambient configuration the CLI installs and
   experiments inherit.
+* :class:`NullRunObserver`, :class:`CompositeRunObserver`,
+  :data:`NULL_OBSERVER` — the engine's outward-facing observation hook;
+  :mod:`repro.obs` builds progress reporting and exporters on top.
 """
 
 from .cache import ResultCache
@@ -32,7 +35,10 @@ from .fingerprint import (
 )
 from .pool import (
     CacheLike,
+    CompositeRunObserver,
     EngineOptions,
+    NULL_OBSERVER,
+    NullRunObserver,
     RunStats,
     SessionPlan,
     current_options,
@@ -43,7 +49,10 @@ from .pool import (
 
 __all__ = [
     "CacheLike",
+    "CompositeRunObserver",
     "EngineOptions",
+    "NULL_OBSERVER",
+    "NullRunObserver",
     "ResultCache",
     "RunStats",
     "SessionPlan",

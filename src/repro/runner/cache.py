@@ -78,6 +78,18 @@ class ResultCache:
             if rec.enabled:
                 rec.inc("cache.bytes_written", path.stat().st_size)
 
+    def stats(self) -> dict:
+        """Entry count and total on-disk bytes (for bench/CLI reporting)."""
+        entries = 0
+        size = 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                size += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return {"entries": entries, "bytes": size}
+
     def clear(self) -> int:
         """Remove every entry; returns the number removed."""
         removed = 0

@@ -46,7 +46,10 @@ from .fingerprint import plan_fingerprint, task_fingerprint
 
 __all__ = [
     "CacheLike",
+    "CompositeRunObserver",
     "EngineOptions",
+    "NULL_OBSERVER",
+    "NullRunObserver",
     "RunStats",
     "SessionPlan",
     "current_options",
@@ -54,6 +57,62 @@ __all__ = [
     "run_sessions",
     "run_tasks",
 ]
+
+
+class NullRunObserver:
+    """The disabled run observer: every callback is a no-op.
+
+    Observers are the engine's outward-facing hook — live progress
+    reporting and result collection (:mod:`repro.obs`) both plug in
+    here.  The pattern mirrors :class:`~repro.telemetry.NullRecorder`:
+    the ambient default is this disabled instance, call sites guard with
+    a single ``if observer.enabled:`` check, and the observing path can
+    never change what the engine computes — observers see results, they
+    do not produce them, so outputs stay byte-identical for any worker
+    count and cache keys never include observer state.
+    """
+
+    enabled = False
+
+    def batch_started(self, units: int, cache_hits: int) -> None:
+        """A ``run_sessions``/``run_tasks`` batch began (after cache lookup)."""
+
+    def unit_finished(self, value: Any) -> None:
+        """One simulated unit completed (cache misses only, completion order)."""
+
+    def batch_finished(self, values: Sequence[Any]) -> None:
+        """A batch returned; ``values`` holds every result in plan order."""
+
+
+#: The process-wide disabled observer (ambient default).
+NULL_OBSERVER = NullRunObserver()
+
+
+class CompositeRunObserver(NullRunObserver):
+    """Fan every engine callback out to several observers.
+
+    ``enabled`` is true when any member is enabled, so a composite of
+    disabled observers still costs a single guard check.
+    """
+
+    def __init__(self, *observers: NullRunObserver) -> None:
+        self.observers = tuple(o for o in observers if o is not None)
+        self.enabled = any(o.enabled for o in self.observers)
+
+    def batch_started(self, units: int, cache_hits: int) -> None:
+        for observer in self.observers:
+            if observer.enabled:
+                observer.batch_started(units, cache_hits)
+
+    def unit_finished(self, value: Any) -> None:
+        for observer in self.observers:
+            if observer.enabled:
+                observer.unit_finished(value)
+
+    def batch_finished(self, values: Sequence[Any]) -> None:
+        for observer in self.observers:
+            if observer.enabled:
+                observer.batch_finished(values)
 
 
 @dataclass(frozen=True)
@@ -93,6 +152,7 @@ class EngineOptions:
     jobs: int = 1
     cache: Optional[ResultCache] = None
     stats: Optional[RunStats] = None
+    observer: NullRunObserver = NULL_OBSERVER
 
 
 _OPTIONS: contextvars.ContextVar[EngineOptions] = contextvars.ContextVar(
@@ -115,7 +175,8 @@ def current_options() -> EngineOptions:
 
 @contextmanager
 def engine_options(jobs: Optional[int] = None, cache: CacheLike = None,
-                   stats: Optional[RunStats] = None):
+                   stats: Optional[RunStats] = None,
+                   observer: Optional[NullRunObserver] = None):
     """Override the ambient engine options within a ``with`` block.
 
     ``None`` keeps the surrounding value, so nested scopes compose: a
@@ -127,6 +188,7 @@ def engine_options(jobs: Optional[int] = None, cache: CacheLike = None,
         jobs=base.jobs if jobs is None else max(1, int(jobs)),
         cache=base.cache if cache is None else _as_cache(cache),
         stats=base.stats if stats is None else stats,
+        observer=base.observer if observer is None else observer,
     )
     token = _OPTIONS.set(options)
     try:
@@ -186,7 +248,7 @@ def _pool_context():
 
 
 def _execute(worker: Callable[[Any], Any], items: Sequence[Any],
-             jobs: int) -> List[Any]:
+             jobs: int, observer: NullRunObserver = NULL_OBSERVER) -> List[Any]:
     """Run ``worker`` over ``items``, preserving input order.
 
     ``jobs=1`` (the default everywhere) runs inline — no pool, no pickle
@@ -196,6 +258,13 @@ def _execute(worker: Callable[[Any], Any], items: Sequence[Any],
     lossless for session results, so outputs are identical bytewise.
     """
     if jobs <= 1 or len(items) <= 1:
+        if observer.enabled:
+            results = []
+            for item in items:
+                result = worker(item)
+                observer.unit_finished(result)
+                results.append(result)
+            return results
         return [worker(item) for item in items]
     # An explicit jobs=N request spawns N workers even when os.cpu_count()
     # is lower: oversubscription costs little for these CPU-bound sessions,
@@ -207,6 +276,14 @@ def _execute(worker: Callable[[Any], Any], items: Sequence[Any],
         # chunksize=1: sessions vary widely in cost (a 16-cell Table 1
         # batch mixes 30 s bulk transfers with 180 s Netflix sessions),
         # so fine-grained dispatch keeps the stragglers from serializing
+        if observer.enabled:
+            # imap yields input-order results as they complete, letting a
+            # progress reporter tick without changing the returned list.
+            results = []
+            for result in pool.imap(worker, items, chunksize=1):
+                observer.unit_finished(result)
+                results.append(result)
+            return results
         return pool.map(worker, items, chunksize=1)
 
 
@@ -214,7 +291,8 @@ def _run_cached(worker: Callable[[Any], Any], items: Sequence[Any],
                 keys: Optional[List[str]], jobs: int,
                 cache: Optional[ResultCache],
                 stats: Optional[RunStats],
-                rec: NullRecorder = NULL) -> List[Any]:
+                rec: NullRecorder = NULL,
+                observer: NullRunObserver = NULL_OBSERVER) -> List[Any]:
     results: List[Any] = [None] * len(items)
     pending = list(range(len(items)))
     if cache is not None and keys is not None:
@@ -225,14 +303,18 @@ def _run_cached(worker: Callable[[Any], Any], items: Sequence[Any],
                 pending.append(i)
             else:
                 results[i] = hit
+    if observer.enabled:
+        observer.batch_started(len(items), len(items) - len(pending))
     if rec.enabled:
         rec.inc("engine.units", len(items))
         rec.inc("engine.cache_hits", len(items) - len(pending))
         rec.inc("engine.cache_misses", len(pending))
         with rec.span("engine.execute"):
-            computed = _execute(worker, [items[i] for i in pending], jobs)
+            computed = _execute(worker, [items[i] for i in pending], jobs,
+                                observer)
     else:
-        computed = _execute(worker, [items[i] for i in pending], jobs)
+        computed = _execute(worker, [items[i] for i in pending], jobs,
+                            observer)
     for i, result in zip(pending, computed):
         results[i] = result
         if cache is not None and keys is not None:
@@ -267,13 +349,18 @@ def run_sessions(plans: Iterable[PlanLike], *, jobs: Optional[int] = None,
         # so it must not change where its result lives.
         keys = [plan.key for plan in normalized]
     rec = current_recorder()
+    observer = options.observer
     payloads = [(plan, rec.enabled) for plan in normalized]
     if not rec.enabled:
-        return _run_cached(_call_plan, payloads, keys, jobs, cache, stats)
+        results = _run_cached(_call_plan, payloads, keys, jobs, cache,
+                              stats, observer=observer)
+        if observer.enabled:
+            observer.batch_finished(results)
+        return results
     with rec.span("engine.run_sessions"):
         rec.gauge("engine.jobs", jobs)
         results = _run_cached(_call_plan, payloads, keys, jobs, cache,
-                              stats, rec)
+                              stats, rec, observer)
         # Merge per-session telemetry in *plan order* — the results list
         # is already plan-ordered, so merged counters and event logs are
         # identical for any worker count.  Cache hits replay whatever
@@ -282,6 +369,8 @@ def run_sessions(plans: Iterable[PlanLike], *, jobs: Optional[int] = None,
             telemetry = getattr(result, "telemetry", None)
             if telemetry is not None:
                 rec.merge(telemetry)
+    if observer.enabled:
+        observer.batch_finished(results)
     return results
 
 
@@ -299,6 +388,7 @@ def run_tasks(fn: Callable[..., Any], argslist: Iterable[tuple], *,
     cache = options.cache if cache is None else _as_cache(cache)
     stats = options.stats if stats is None else stats
     rec = current_recorder()
+    observer = options.observer
     items = [(fn, tuple(args), rec.enabled) for args in argslist]
     keys = None
     if cache is not None:
@@ -306,13 +396,17 @@ def run_tasks(fn: Callable[..., Any], argslist: Iterable[tuple], *,
         # deliberately excluded, like everything telemetry-related.
         keys = [task_fingerprint(fn, args) for _fn, args, _record in items]
     if not rec.enabled:
-        results = _run_cached(_call_task, items, keys, jobs, cache, stats)
-        return [r.value if isinstance(r, _TaskEnvelope) else r
-                for r in results]
+        results = _run_cached(_call_task, items, keys, jobs, cache, stats,
+                              observer=observer)
+        unwrapped = [r.value if isinstance(r, _TaskEnvelope) else r
+                     for r in results]
+        if observer.enabled:
+            observer.batch_finished(unwrapped)
+        return unwrapped
     with rec.span("engine.run_tasks"):
         rec.gauge("engine.jobs", jobs)
         results = _run_cached(_call_task, items, keys, jobs, cache,
-                              stats, rec)
+                              stats, rec, observer)
         unwrapped: List[Any] = []
         for result in results:
             if isinstance(result, _TaskEnvelope):
@@ -321,4 +415,6 @@ def run_tasks(fn: Callable[..., Any], argslist: Iterable[tuple], *,
                 unwrapped.append(result.value)
             else:
                 unwrapped.append(result)
+    if observer.enabled:
+        observer.batch_finished(unwrapped)
     return unwrapped

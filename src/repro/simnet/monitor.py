@@ -83,6 +83,32 @@ class TimeSeries:
     def min(self) -> float:
         return min(self.values)
 
+    def binned_rate(self, bin_width: float) -> "TimeSeries":
+        """Per-bin rate of change of a cumulative series.
+
+        Interprets the samples as a non-decreasing cumulative quantity
+        (e.g. bytes downloaded) and returns one sample per ``bin_width``
+        interval, timestamped at the bin end, whose value is the average
+        rate (units/second) over that bin.  Bins with no samples carry
+        the rate 0.0 — the quantity did not advance.  This is what the
+        exporters use to turn a download curve into link utilisation.
+        """
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width!r}")
+        out = TimeSeries(f"{self.name}:rate" if self.name else "rate")
+        if len(self.times) < 2:
+            return out
+        t0 = self.times[0]
+        span = self.times[-1] - t0
+        bins = max(1, int(span / bin_width) + (1 if span % bin_width else 0))
+        prev_value = self.values[0]
+        for b in range(bins):
+            end = t0 + (b + 1) * bin_width
+            value = self.value_at(min(end, self.times[-1]))
+            out.append(end, (value - prev_value) / bin_width)
+            prev_value = value
+        return out
+
     def time_average(self) -> float:
         """Step-function time average over the sampled span."""
         if len(self.times) < 2:

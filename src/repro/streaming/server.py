@@ -31,6 +31,7 @@ from ..http import (
     parse_range,
     parse_request,
 )
+from ..simnet.monitor import TimeSeries
 from ..simnet.node import Host
 from ..simnet.scheduler import EventHandle, EventScheduler
 from ..tcp import TcpConfig, TcpConnection, TcpListener
@@ -100,6 +101,10 @@ class VideoServer:
         self.responses_503 = 0
         self.connections_accepted = 0
         self.connections_aborted = 0
+        #: Per-connection cwnd traces in accept order; populated only when
+        #: the server's ``tcp_config`` sets ``trace_cwnd`` (the traces keep
+        #: growing after a connection closes out of ``_open_conns``).
+        self.cwnd_traces: List[TimeSeries] = []
         self._unavailable_until: Optional[float] = None
         self._open_conns: List[TcpConnection] = []
         self._listener = TcpListener(
@@ -141,6 +146,8 @@ class VideoServer:
     def _on_accept(self, conn: TcpConnection) -> None:
         self.connections_accepted += 1
         self._open_conns.append(conn)
+        if conn.cwnd_series is not None:
+            self.cwnd_traces.append(conn.cwnd_series)
         state = {"buf": b"", "job": None}
         conn.on_data = lambda c: self._on_request_bytes(c, state)
         conn.on_closed = lambda c, reason: self._on_conn_closed(c, state)

@@ -67,6 +67,7 @@ class SessionConfig:
     seed: int = 0
     watch_fraction: float = 1.0             # beta_n; < 1 interrupts playback
     probe_period: Optional[float] = None    # sample player buffer if set
+    trace_cwnd: bool = False                # record server-side cwnd traces
     server_reset_cwnd_after_idle: bool = False
     mss: int = 1460
     retry_policy: Optional[RetryPolicy] = None  # None: no watchdog/retries
@@ -89,6 +90,9 @@ class SessionResult:
     capture: TraceCapture
     buffer_series: Optional[TimeSeries] = None
     rwnd_series: Optional[TimeSeries] = None
+    #: Server-side congestion-window traces, one per accepted connection
+    #: in accept order; populated only when ``config.trace_cwnd`` is set.
+    cwnd_traces: List[TimeSeries] = field(default_factory=list)
     server_requests: int = 0
     playback_rate_bps: float = 0.0
     duration_simulated: float = 0.0
@@ -199,6 +203,7 @@ def _run_session_impl(video: Video, config: SessionConfig) -> SessionResult:
             mss=config.mss,
             recv_buffer=256 * 1024,
             reset_cwnd_after_idle=config.server_reset_cwnd_after_idle,
+            trace_cwnd=config.trace_cwnd,
         )
         server = VideoServer(
             server_host,
@@ -283,6 +288,7 @@ def _run_session_impl(video: Video, config: SessionConfig) -> SessionResult:
         player_finished=player.finished,
         capture=capture,
         buffer_series=buffer_series,
+        cwnd_traces=list(server.cwnd_traces),
         server_requests=server.requests_served,
         playback_rate_bps=player.playback_rate_bps,
         duration_simulated=net.now(),

@@ -35,7 +35,7 @@ recorder, :mod:`repro.telemetry.recorder`); :func:`summarize`,
 :mod:`repro.telemetry.export`).
 """
 
-from .export import aggregate_spans, summarize, write_jsonl
+from .export import aggregate_spans, percentile_row, summarize, write_jsonl
 from .recorder import (
     NULL,
     EventRecord,
@@ -59,6 +59,7 @@ __all__ = [
     "SpanRecord",
     "aggregate_spans",
     "current_recorder",
+    "percentile_row",
     "recording",
     "summarize",
     "use_recorder",

@@ -30,9 +30,31 @@ from .recorder import (
 
 __all__ = [
     "aggregate_spans",
+    "percentile_row",
     "summarize",
     "write_jsonl",
 ]
+
+#: Percentiles reported for every histogram in the profile summary.
+PERCENTILES = (50, 95, 99)
+
+
+def percentile_row(hist: HistogramSummary,
+                   qs: Sequence[float] = PERCENTILES) -> List[str]:
+    """Formatted percentile cells for one histogram (``"-"`` when empty).
+
+    >>> h = HistogramSummary()
+    >>> percentile_row(h)
+    ['-', '-', '-']
+    >>> h.observe(2.0)
+    >>> percentile_row(h)
+    ['2', '2', '2']
+    """
+    cells = []
+    for q in qs:
+        value = hist.percentile(q)
+        cells.append("-" if value is None else f"{value:g}")
+    return cells
 
 TelemetryLike = Union[Recorder, SessionTelemetry]
 
@@ -170,11 +192,13 @@ def summarize(telemetry: TelemetryLike, title: Optional[str] = None,
         rows = [
             (name, str(h.count), f"{h.mean:g}",
              "-" if h.min is None else f"{h.min:g}",
+             *percentile_row(h),
              "-" if h.max is None else f"{h.max:g}")
             for name, h in sorted(snap.histograms.items())
         ]
         lines += ["Histograms"]
-        lines += _table(["histogram", "count", "mean", "min", "max"], rows)
+        lines += _table(["histogram", "count", "mean", "min",
+                         "p50", "p95", "p99", "max"], rows)
         lines.append("")
 
     if snap.events:
@@ -234,6 +258,8 @@ def write_jsonl(telemetry: TelemetryLike, path) -> int:
             f.write(json.dumps({
                 "kind": "histogram", "name": name, "count": hist.count,
                 "total": hist.total, "min": hist.min, "max": hist.max,
+                "p50": hist.percentile(50), "p95": hist.percentile(95),
+                "p99": hist.percentile(99),
             }) + "\n")
             written += 1
     return written

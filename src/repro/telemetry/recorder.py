@@ -82,24 +82,28 @@ class EventRecord:
 
 @dataclass
 class HistogramSummary:
-    """Streaming summary of an observed distribution (count/sum/min/max).
+    """Summary of an observed distribution: moments plus raw samples.
 
     Deliberately bucket-free: the instrumented values (session durations,
     downloaded bytes, block sizes) are deterministic, so exact moments
-    merge exactly and the summary stays a handful of floats however many
-    sessions feed it.
+    merge exactly.  The raw samples are retained too — the instrumented
+    paths observe a handful of values per session, so the list stays
+    small while making exact percentiles possible.  Percentiles sort at
+    query time, so merge order never affects them.
     """
 
     count: int = 0
     total: float = 0.0
     min: Optional[float] = None
     max: Optional[float] = None
+    samples: List[float] = field(default_factory=list)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        self.samples.append(value)
 
     def merge(self, other: "HistogramSummary") -> None:
         if other.count == 0:
@@ -108,11 +112,39 @@ class HistogramSummary:
         self.total += other.total
         self.min = other.min if self.min is None else min(self.min, other.min)  # type: ignore[arg-type]
         self.max = other.max if self.max is None else max(self.max, other.max)  # type: ignore[arg-type]
+        self.samples.extend(other.samples)
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of the observed values (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The ``q``-th percentile (0–100, linear interpolation between
+        order statistics), or ``None`` when nothing was observed.
+
+        >>> h = HistogramSummary()
+        >>> for v in (1.0, 2.0, 3.0, 4.0):
+        ...     h.observe(v)
+        >>> h.percentile(50)
+        2.5
+        >>> h.percentile(100)
+        4.0
+        >>> HistogramSummary().percentile(95) is None
+        True
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
 
 
 @dataclass
@@ -280,7 +312,8 @@ class Recorder(NullRecorder):
         return SessionTelemetry(
             counters=dict(self.counters),
             gauges=dict(self.gauges),
-            histograms={k: HistogramSummary(v.count, v.total, v.min, v.max)
+            histograms={k: HistogramSummary(v.count, v.total, v.min, v.max,
+                                            list(v.samples))
                         for k, v in self.histograms.items()},
             events=list(self.events),
             spans=list(self.spans),

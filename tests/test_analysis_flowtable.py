@@ -78,6 +78,23 @@ class TestFlowConstruction:
         trace = build_download_trace(records, CLIENT, SERVER)
         assert trace.retransmission_rate == 0.0
 
+    def test_retransmission_rate_zero_packets(self):
+        # a handshake-only flow carries no data: the rate must be a
+        # clean 0.0, not a division error
+        trace = build_download_trace(handshake(), CLIENT, SERVER)
+        flow = trace.main_flow()
+        assert flow.total_payload_bytes == 0
+        assert flow.packet_count == 0
+        assert flow.retransmission_rate == 0.0
+        assert trace.retransmission_rate == 0.0
+
+    def test_packet_count_counts_retransmissions(self):
+        records = handshake() + data_stream(
+            1.0, [(0, 1000), (1000, 1000), (1000, 1000)])  # one dup
+        trace = build_download_trace(records, CLIENT, SERVER)
+        assert trace.main_flow().packet_count == 3
+        assert trace.packet_count == 3
+
     def test_sequence_wrap_handled(self):
         base = (1 << 32) - 1500  # data crosses the 32-bit boundary
         records = handshake() + data_stream(

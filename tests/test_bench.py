@@ -1,0 +1,180 @@
+"""Tests for the repro bench perf-regression tracker."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    BENCH_SCHEMA,
+    BenchWriter,
+    compare,
+    format_comparison,
+    git_sha,
+    load_bench,
+    peak_rss_kb,
+    run_suite,
+)
+
+
+def _bench(entries, sha="abc1234", scale="small"):
+    writer = BenchWriter("test", scale, sha=sha)
+    for name, wall in entries.items():
+        writer.add(name, wall)
+    return writer.payload()
+
+
+class TestWriter:
+    def test_schema_versioned_payload(self):
+        payload = _bench({"fig1": 1.0, "fig2": 2.5})
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["git_sha"] == "abc1234"
+        assert list(payload["entries"]) == ["fig1", "fig2"]  # sorted
+        assert payload["entries"]["fig2"]["wall_s"] == 2.5
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        writer = BenchWriter("test", "small", sha="abc1234")
+        writer.add("fig1", 1.0, units=3, cache_hits=1)
+        path = writer.write(tmp_path / "b.json")
+        data = load_bench(path)
+        assert data == writer.payload()
+        assert data["entries"]["fig1"]["units"] == 3
+
+    def test_default_filename_embeds_sha(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        writer = BenchWriter("test", "small", sha="deadbee")
+        writer.add("x", 1.0)
+        path = writer.write()
+        assert path.name == "BENCH_deadbee.json"
+        assert path.exists()
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/v9", "entries": {}}))
+        with pytest.raises(ValueError):
+            load_bench(path)
+        path.write_text(json.dumps({"schema": BENCH_SCHEMA}))
+        with pytest.raises(ValueError):
+            load_bench(path)
+
+    def test_git_sha_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "feedf00d")
+        assert git_sha() == "feedf00d"
+
+    def test_peak_rss_is_positive_here(self):
+        assert peak_rss_kb() > 0
+
+
+class TestCompare:
+    def test_flags_2x_wall_time_regression(self):
+        base = _bench({"fig1": 1.0, "fig2": 1.0})
+        new = _bench({"fig1": 1.0, "fig2": 2.0})
+        regressions = compare(base, new, threshold=0.25)
+        assert [r.name for r in regressions] == ["fig2"]
+        assert regressions[0].ratio == pytest.approx(2.0)
+
+    def test_passes_on_identical_inputs(self):
+        base = _bench({"fig1": 1.0, "fig2": 2.0})
+        assert compare(base, base, threshold=0.25) == []
+
+    def test_threshold_is_strict_boundary(self):
+        base = _bench({"a": 1.0})
+        at = _bench({"a": 1.25})
+        over = _bench({"a": 1.2501})
+        assert compare(base, at, threshold=0.25) == []
+        assert [r.name for r in compare(base, over, threshold=0.25)] == ["a"]
+
+    def test_ignores_entries_missing_from_either_side(self):
+        base = _bench({"a": 1.0, "gone": 1.0})
+        new = _bench({"a": 1.0, "added": 99.0})
+        assert compare(base, new) == []
+
+    def test_format_marks_regressions_and_counts(self):
+        base = _bench({"a": 1.0, "b": 1.0})
+        new = _bench({"a": 1.0, "b": 3.0})
+        regressions = compare(base, new, threshold=0.25)
+        text = format_comparison(base, new, regressions, 0.25)
+        assert "REGRESSION" in text
+        assert "1 regression(s)" in text
+        assert "+200.0%" in text
+
+
+class TestRunSuite:
+    def test_measures_one_experiment(self):
+        entries, reports = run_suite(["model_validation"], "small")
+        assert list(entries) == ["model_validation"]
+        entry = entries["model_validation"]
+        assert entry["wall_s"] > 0
+        assert entry["units"] > 0
+        assert entry["units_per_sec"] > 0
+        assert entry["peak_rss_kb"] > 0
+        assert entry["spans"] > 0
+        assert entry["cache_hits"] + entry["cache_misses"] == entry["units"]
+        assert reports and "model" in reports[0].lower()
+
+    def test_cache_hits_on_second_pass(self, tmp_path):
+        from repro.runner import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cold, _ = run_suite(["model_validation"], "small", cache=cache)
+        warm, _ = run_suite(["model_validation"], "small", cache=cache)
+        assert cold["model_validation"]["cache_misses"] > 0
+        assert warm["model_validation"]["cache_hits"] == \
+            cold["model_validation"]["cache_misses"]
+
+
+class TestCli:
+    def test_bench_writes_valid_file(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(["bench", "model_validation", "--scale", "small",
+                     "--out", str(out)])
+        assert code == 0
+        data = load_bench(out)
+        assert data["schema"] == BENCH_SCHEMA
+        assert data["scale"] == "small"
+        assert "model_validation" in data["entries"]
+        assert "bench written" in capsys.readouterr().out
+
+    def test_bench_rejects_unknown_experiment(self, capsys):
+        assert main(["bench", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_compare_exits_nonzero_on_regression(self, tmp_path, capsys):
+        base = tmp_path / "a.json"
+        new = tmp_path / "b.json"
+        base.write_text(json.dumps(_bench({"fig1": 1.0})))
+        new.write_text(json.dumps(_bench({"fig1": 2.0})))
+        assert main(["bench", "--compare", str(base), str(new)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_passes_on_identical(self, tmp_path, capsys):
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps(_bench({"fig1": 1.0})))
+        assert main(["bench", "--compare", str(path), str(path)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_compare_report_only_always_passes(self, tmp_path, capsys):
+        base = tmp_path / "a.json"
+        new = tmp_path / "b.json"
+        base.write_text(json.dumps(_bench({"fig1": 1.0})))
+        new.write_text(json.dumps(_bench({"fig1": 5.0})))
+        code = main(["bench", "--compare", str(base), str(new),
+                     "--report-only"])
+        assert code == 0
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_threshold_configurable(self, tmp_path):
+        base = tmp_path / "a.json"
+        new = tmp_path / "b.json"
+        base.write_text(json.dumps(_bench({"fig1": 1.0})))
+        new.write_text(json.dumps(_bench({"fig1": 1.5})))
+        assert main(["bench", "--compare", str(base), str(new)]) == 1
+        assert main(["bench", "--compare", str(base), str(new),
+                     "--threshold", "0.6"]) == 0
+
+    def test_compare_bad_file_exits_2(self, tmp_path, capsys):
+        good = tmp_path / "a.json"
+        good.write_text(json.dumps(_bench({"fig1": 1.0})))
+        assert main(["bench", "--compare", str(good),
+                     str(tmp_path / "missing.json")]) == 2
+        assert "bench compare" in capsys.readouterr().err

@@ -13,6 +13,18 @@ class TestList:
         assert "Research" in out
         assert "firefox" in out
 
+    def test_list_json_emits_registry(self, capsys):
+        import json
+
+        from repro.experiments import REGISTRY
+
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in payload] == list(REGISTRY)
+        for entry in payload:
+            assert set(entry) == {"name", "title", "paper", "tags"}
+            assert isinstance(entry["tags"], list)
+
 
 class TestStream:
     def test_flash_session(self, capsys):

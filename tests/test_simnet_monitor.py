@@ -86,6 +86,37 @@ class TestTimeSeries:
         with pytest.raises(ValueError):
             ts.time_average()
 
+    def test_binned_rate_of_cumulative_series(self):
+        ts = TimeSeries("bytes")
+        ts.append(0.0, 0.0)
+        ts.append(1.0, 100.0)
+        ts.append(2.0, 100.0)   # idle second: no progress
+        ts.append(3.0, 250.0)
+        rate = ts.binned_rate(1.0)
+        assert rate.times == [1.0, 2.0, 3.0]
+        assert rate.values == pytest.approx([100.0, 0.0, 150.0])
+
+    def test_binned_rate_covers_partial_last_bin(self):
+        ts = TimeSeries("bytes")
+        ts.append(0.0, 0.0)
+        ts.append(2.5, 50.0)
+        rate = ts.binned_rate(1.0)
+        # three bins cover the 2.5 s span; the last is timestamped at
+        # its nominal end even though data stops earlier
+        assert rate.times == [1.0, 2.0, 3.0]
+        assert sum(rate.values) * 1.0 == pytest.approx(50.0)
+
+    def test_binned_rate_short_series_is_empty(self):
+        assert len(TimeSeries().binned_rate(1.0)) == 0
+        ts = TimeSeries("x")
+        ts.append(0.0, 5.0)
+        assert len(ts.binned_rate(1.0)) == 0
+
+    def test_binned_rate_rejects_nonpositive_width(self):
+        ts = TimeSeries("x")
+        with pytest.raises(ValueError):
+            ts.binned_rate(0.0)
+
 
 class TestPeriodicProbe:
     def test_samples_on_schedule(self):

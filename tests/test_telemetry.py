@@ -9,6 +9,8 @@ semantics and the ``repro profile`` CLI.
 
 import json
 
+import pytest
+
 from repro.cli import main
 from repro.experiments import Scale, fig2
 from repro.runner import engine_options
@@ -102,6 +104,46 @@ class TestRecorder:
         b.observe(3.0)
         a.merge(b)
         assert (a.count, a.total, a.min, a.max) == (3, 9.0, 1.0, 5.0)
+
+    def test_histogram_percentile_empty_is_none(self):
+        h = HistogramSummary()
+        assert h.percentile(50) is None
+        assert h.percentile(99) is None
+
+    def test_histogram_percentile_single_sample(self):
+        h = HistogramSummary()
+        h.observe(7.0)
+        assert h.percentile(0) == 7.0
+        assert h.percentile(50) == 7.0
+        assert h.percentile(100) == 7.0
+
+    def test_histogram_percentile_interpolates(self):
+        h = HistogramSummary()
+        for v in (10.0, 20.0, 30.0, 40.0):
+            h.observe(v)
+        assert h.percentile(0) == 10.0
+        assert h.percentile(50) == 25.0
+        assert h.percentile(100) == 40.0
+
+    def test_histogram_percentile_merge_order_irrelevant(self):
+        a, b = HistogramSummary(), HistogramSummary()
+        a.observe(3.0)
+        b.observe(1.0)
+        b.observe(2.0)
+        a.merge(b)
+        assert a.percentile(50) == 2.0
+
+    def test_histogram_percentile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            HistogramSummary().percentile(101)
+
+    def test_snapshot_copies_samples(self):
+        rec = Recorder()
+        rec.observe("h", 1.0)
+        snap = rec.snapshot()
+        rec.observe("h", 100.0)
+        assert snap.histograms["h"].samples == [1.0]
+        assert snap.histograms["h"].percentile(95) == 1.0
 
     def test_merge_adds_counters_and_reroots_spans(self):
         child = Recorder()

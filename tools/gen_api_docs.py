@@ -40,6 +40,7 @@ PUBLIC_MODULES = [
     "repro.runner",
     "repro.experiments",
     "repro.telemetry",
+    "repro.obs",
 ]
 
 HEADER = """\
