@@ -84,17 +84,31 @@ def engine(request):
         yield options
 
 
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call":
+        item._repro_bench_passed = report.passed
+
+
 @pytest.fixture(autouse=True)
 def bench_record(request):
-    """Record this test's wall time into the shared bench file (if any)."""
+    """Record this test's wall time into the shared bench file (if any).
+
+    Failed benchmarks are *not* recorded: a partial timing from a test
+    that blew up mid-run would poison the compare trajectory with a
+    number that measures nothing.
+    """
     writer = getattr(request.config, "_repro_bench_writer", None)
     if writer is None:
         yield
         return
     started = time.perf_counter()
     yield
-    writer.add(request.node.name, time.perf_counter() - started,
-               scale=request.config.getoption("--repro-scale"))
+    if getattr(request.node, "_repro_bench_passed", False):
+        writer.add(request.node.name, time.perf_counter() - started,
+                   scale=request.config.getoption("--repro-scale"))
 
 
 @pytest.fixture

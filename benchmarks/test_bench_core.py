@@ -1,0 +1,92 @@
+"""Microbenchmarks for the simulation fast path (PR 5 tentpole).
+
+Three probes of the allocation-lean core, wired into the shared
+``--repro-bench-out`` BenchWriter schema so ``repro bench --compare``
+gates regressions:
+
+* **scheduler churn** — raw event-loop throughput: tuple-entry posts,
+  argument-carrying callbacks, handle cancellation and lazy deletion.
+* **single long-cycle session** — the acceptance workload: one 600 s
+  2 Mbps video over the Residence profile, whose block transfer settles
+  into the paper's long ON-OFF cycles (Figure 2 receive-window
+  throttling).  This is the ≥2x-vs-main criterion.
+* **64-session campaign** — many short sessions back to back, the shape
+  of the ROADMAP's campaign engine.
+
+Each benchmark asserts the workload's deterministic outputs, so a perf
+run doubles as a byte-identity check.
+"""
+
+import pytest
+
+from repro.simnet import EventScheduler
+from repro.simnet.profiles import RESIDENCE
+from repro.streaming import Application, Service
+from repro.streaming.session import SessionConfig, run_session
+from repro.workloads import MBPS, Video
+
+
+def _long_cycle_session():
+    """One long ON-OFF-cycle session (the acceptance microbenchmark)."""
+    video = Video(video_id="bench-core", duration=600.0,
+                  encoding_rate_bps=2 * MBPS,
+                  resolution="360p", container="flv")
+    config = SessionConfig(profile=RESIDENCE, service=Service.YOUTUBE,
+                           application=Application.FIREFOX,
+                           capture_duration=180.0, seed=7)
+    return run_session(video, config)
+
+
+def test_bench_core_scheduler_churn(benchmark):
+    """Raw scheduler throughput: post/fire/cancel churn, no simulation."""
+
+    def churn() -> int:
+        sched = EventScheduler()
+        fired = [0]
+
+        def bump(n: int) -> None:
+            fired[0] += n
+
+        def plain() -> None:
+            fired[0] += 1
+
+        handles = []
+        for i in range(20_000):
+            t = (i % 997) * 1e-3 + 1e-6
+            sched.call_at(t, bump, 1)
+            handles.append(sched.at(t, plain))
+        for handle in handles[::2]:     # cancel half: lazy deletion path
+            handle.cancel()
+        sched.run_until(2.0)
+        return fired[0]
+
+    fired = benchmark.pedantic(churn, rounds=3, iterations=1)
+    assert fired == 20_000 + 10_000
+
+
+def test_bench_core_session_long_cycle(benchmark):
+    """The ≥2x acceptance workload: one long ON-OFF-cycle session."""
+    result = benchmark.pedantic(_long_cycle_session, rounds=3, iterations=1)
+    # Byte-identity pins (identical on main before the fast path landed).
+    assert len(result.capture) == 69583
+    assert result.downloaded == 66164352
+    assert not result.failed
+
+
+def test_bench_core_campaign_64(benchmark):
+    """64 short sessions back to back — the campaign-engine shape."""
+
+    def campaign() -> int:
+        total = 0
+        for seed in range(64):
+            video = Video(video_id=f"c{seed}", duration=120.0,
+                          encoding_rate_bps=1 * MBPS,
+                          resolution="360p", container="flv")
+            config = SessionConfig(profile=RESIDENCE, service=Service.YOUTUBE,
+                                   application=Application.FIREFOX,
+                                   capture_duration=12.0, seed=seed)
+            total += run_session(video, config).downloaded
+        return total
+
+    total = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    assert total > 0

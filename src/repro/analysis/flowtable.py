@@ -15,57 +15,122 @@ server.  :func:`build_download_trace` reconstructs, from raw packets,
 
 Sequence numbers are 32-bit wire values; each flow unwraps them
 independently, so the pipeline works on real pcap input too.
+
+Per-packet state is held in columnar ``array('d')``/``array('q')``
+buffers — one float and one int append per data packet instead of a
+tuple and two list appends.  The tuple-list views the downstream
+consumers iterate (:attr:`FlowData.events`, :attr:`DownloadTrace.events`)
+are materialized lazily on first access and cached.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
+from itertools import accumulate
 from typing import Dict, List, Optional, Tuple
 
 from ..pcap.capture import PacketRecord
 from ..simnet.monitor import TimeSeries
+from ..tcp.constants import ACK as F_ACK
+from ..tcp.constants import SYN as F_SYN
 from ..tcp.seqspace import SequenceUnwrapper
 
 FlowKey = Tuple[str, int, str, int]  # (src_ip, src_port, dst_ip, dst_port)
 
 
-@dataclass
-class FlowData:
+class _EventColumns:
+    """Columnar (time, unique-byte advance) event log shared by flow and
+    aggregate views: two parallel arrays plus a lazily-built tuple view."""
+
+    __slots__ = ("_event_times", "_event_advances", "_events_cache")
+
+    def __init__(self) -> None:
+        self._event_times = array("d")
+        self._event_advances = array("q")
+        self._events_cache: Optional[List[Tuple[float, int]]] = None
+
+    def _add_event(self, t: float, advance: int) -> None:
+        self._event_times.append(t)
+        self._event_advances.append(advance)
+
+    @property
+    def events(self) -> List[Tuple[float, int]]:
+        """``(time, advance)`` pairs, one per downstream data packet."""
+        cache = self._events_cache
+        if cache is None or len(cache) != len(self._event_times):
+            cache = list(zip(self._event_times, self._event_advances))
+            self._events_cache = cache
+        return cache
+
+    @property
+    def activity(self) -> array:
+        """Data-packet timestamps (retransmissions included)."""
+        return self._event_times
+
+    @property
+    def packet_count(self) -> int:
+        """Downstream data packets seen (retransmissions included)."""
+        return len(self._event_times)
+
+
+class FlowData(_EventColumns):
     """Downstream state of one TCP flow (server -> client direction)."""
 
-    key: FlowKey
-    syn_time: Optional[float] = None
-    synack_time: Optional[float] = None
-    handshake_rtt: Optional[float] = None
-    first_data_time: Optional[float] = None
-    last_data_time: Optional[float] = None
-    base_seq: Optional[int] = None        # unwrapped seq of first payload byte
-    max_seq_seen: int = 0                 # highest unwrapped end-seq (relative)
-    unique_bytes: int = 0
-    total_payload_bytes: int = 0
-    retransmitted_bytes: int = 0
-    events: List[Tuple[float, int]] = field(default_factory=list)  # (t, advance)
-    activity: List[float] = field(default_factory=list)
-    head_bytes: bytearray = field(default_factory=bytearray)
-    _head_expect: int = 0
-    _unwrapper: SequenceUnwrapper = field(default_factory=SequenceUnwrapper)
+    __slots__ = (
+        "key",
+        "syn_time",
+        "synack_time",
+        "handshake_rtt",
+        "first_data_time",
+        "last_data_time",
+        "base_seq",
+        "max_seq_seen",
+        "unique_bytes",
+        "total_payload_bytes",
+        "retransmitted_bytes",
+        "head_bytes",
+        "_head_expect",
+        "_unwrapper",
+    )
 
     HEAD_CAPTURE_LIMIT = 8192
 
+    def __init__(self, key: FlowKey) -> None:
+        super().__init__()
+        self.key = key
+        self.syn_time: Optional[float] = None
+        self.synack_time: Optional[float] = None
+        self.handshake_rtt: Optional[float] = None
+        self.first_data_time: Optional[float] = None
+        self.last_data_time: Optional[float] = None
+        self.base_seq: Optional[int] = None   # unwrapped seq of first payload byte
+        self.max_seq_seen = 0                 # highest unwrapped end-seq (relative)
+        self.unique_bytes = 0
+        self.total_payload_bytes = 0
+        self.retransmitted_bytes = 0
+        self.head_bytes = bytearray()
+        self._head_expect = 0
+        self._unwrapper = SequenceUnwrapper()
+
     def on_data_packet(self, record: PacketRecord) -> int:
         """Account one downstream data packet; returns the unique-byte advance."""
+        payload_len = record.payload_len
+        timestamp = record.timestamp
         seq = self._unwrapper.unwrap(record.seq)
         if self.base_seq is None:
             self.base_seq = seq
         rel = seq - self.base_seq
-        end = rel + record.payload_len
-        advance = max(0, end - self.max_seq_seen)
+        end = rel + payload_len
+        max_seen = self.max_seq_seen
+        advance = end - max_seen
+        if advance < 0:
+            advance = 0
         # client-side retransmission detection by sequence regression (what
         # tstat-style tools do): a data packet starting below the highest
         # sequence already seen is a retransmission — either a duplicate or
         # a late hole-filler whose original was lost upstream of the capture
-        if rel < self.max_seq_seen:
-            self.retransmitted_bytes += record.payload_len
+        if rel < max_seen:
+            self.retransmitted_bytes += payload_len
         # capture the in-order leading bytes for HTTP/container parsing
         if (
             record.payload is not None
@@ -73,21 +138,17 @@ class FlowData:
             and len(self.head_bytes) < self.HEAD_CAPTURE_LIMIT
         ):
             self.head_bytes.extend(record.payload)
-            self._head_expect = rel + record.payload_len
-        self.max_seq_seen = max(self.max_seq_seen, end)
+            self._head_expect = rel + payload_len
+        if end > max_seen:
+            self.max_seq_seen = end
         self.unique_bytes += advance
-        self.total_payload_bytes += record.payload_len
+        self.total_payload_bytes += payload_len
         if self.first_data_time is None:
-            self.first_data_time = record.timestamp
-        self.last_data_time = record.timestamp
-        self.events.append((record.timestamp, advance))
-        self.activity.append(record.timestamp)
+            self.first_data_time = timestamp
+        self.last_data_time = timestamp
+        self._event_times.append(timestamp)
+        self._event_advances.append(advance)
         return advance
-
-    @property
-    def packet_count(self) -> int:
-        """Downstream data packets seen on this flow (retransmissions included)."""
-        return len(self.activity)
 
     @property
     def retransmission_rate(self) -> float:
@@ -96,18 +157,34 @@ class FlowData:
         return self.retransmitted_bytes / self.total_payload_bytes
 
 
-@dataclass
-class DownloadTrace:
+class DownloadTrace(_EventColumns):
     """Aggregate download view of one capture (all flows combined)."""
 
-    client_ip: str
-    server_ip: str
-    flows: Dict[FlowKey, FlowData]
-    events: List[Tuple[float, int]]      # aggregate (time, new unique bytes)
-    activity: List[float]                # aggregate data-packet times
-    window_series: TimeSeries            # client's advertised window over time
-    capture_start: float
-    capture_end: float
+    __slots__ = (
+        "client_ip",
+        "server_ip",
+        "flows",
+        "window_series",
+        "capture_start",
+        "capture_end",
+    )
+
+    def __init__(
+        self,
+        client_ip: str,
+        server_ip: str,
+        flows: Dict[FlowKey, FlowData],
+        window_series: TimeSeries,
+        capture_start: float,
+        capture_end: float,
+    ) -> None:
+        super().__init__()
+        self.client_ip = client_ip
+        self.server_ip = server_ip
+        self.flows = flows
+        self.window_series = window_series
+        self.capture_start = capture_start
+        self.capture_end = capture_end
 
     @property
     def total_bytes(self) -> int:
@@ -124,11 +201,6 @@ class DownloadTrace:
             return 0.0
         retx = sum(f.retransmitted_bytes for f in self.flows.values())
         return retx / payload
-
-    @property
-    def packet_count(self) -> int:
-        """Downstream data packets across all flows (retransmissions included)."""
-        return sum(f.packet_count for f in self.flows.values())
 
     @property
     def flow_count(self) -> int:
@@ -148,12 +220,11 @@ class DownloadTrace:
 
     def cumulative_series(self) -> TimeSeries:
         """The download-amount-vs-time curve (Figure 2(a) style)."""
-        series = TimeSeries("download-amount")
-        total = 0
-        for t, advance in self.events:
-            total += advance
-            series.append(t, float(total))
-        return series
+        return TimeSeries.from_columns(
+            "download-amount",
+            self._event_times,
+            map(float, accumulate(self._event_advances)),
+        )
 
     def median_handshake_rtt(self) -> Optional[float]:
         rtts = sorted(
@@ -185,27 +256,35 @@ def build_download_trace(
 ) -> DownloadTrace:
     """Reconstruct the aggregate download trace of one capture."""
     flows: Dict[FlowKey, FlowData] = {}
-    events: List[Tuple[float, int]] = []
-    activity: List[float] = []
-    window_series = TimeSeries("recv-window")
-    capture_start = records[0].timestamp if records else 0.0
-    capture_end = records[-1].timestamp if records else 0.0
+    window_times = array("d")
+    window_values = array("d")
+    trace = DownloadTrace(
+        client_ip=client_ip,
+        server_ip=server_ip,
+        flows=flows,
+        window_series=TimeSeries("recv-window"),
+        capture_start=records[0].timestamp if records else 0.0,
+        capture_end=records[-1].timestamp if records else 0.0,
+    )
+    agg_times = trace._event_times
+    agg_advances = trace._event_advances
 
     for record in records:
-        downstream = record.src_ip == server_ip and record.dst_ip == client_ip
-        upstream = record.src_ip == client_ip and record.dst_ip == server_ip
-        if not (downstream or upstream):
-            continue
+        src, dst = record.src_ip, record.dst_ip
+        downstream = src == server_ip and dst == client_ip
         if downstream:
-            key = (record.src_ip, record.src_port, record.dst_ip, record.dst_port)
+            key = (src, record.src_port, dst, record.dst_port)
+        elif src == client_ip and dst == server_ip:  # upstream
+            key = (dst, record.dst_port, src, record.src_port)
         else:
-            key = (record.dst_ip, record.dst_port, record.src_ip, record.src_port)
+            continue
         flow = flows.get(key)
         if flow is None:
             flow = flows[key] = FlowData(key=key)
 
-        if record.is_syn:
-            if upstream and flow.syn_time is None:
+        flags = record.flags
+        if flags & F_SYN:
+            if not downstream and flow.syn_time is None:
                 flow.syn_time = record.timestamp
             elif downstream and flow.synack_time is None:
                 flow.synack_time = record.timestamp
@@ -214,18 +293,12 @@ def build_download_trace(
             continue
         if downstream and record.payload_len > 0:
             advance = flow.on_data_packet(record)
-            events.append((record.timestamp, advance))
-            activity.append(record.timestamp)
-        elif upstream and record.is_ack:
-            window_series.append(record.timestamp, float(record.window))
+            agg_times.append(record.timestamp)
+            agg_advances.append(advance)
+        elif not downstream and flags & F_ACK:
+            window_times.append(record.timestamp)
+            window_values.append(record.window)
 
-    return DownloadTrace(
-        client_ip=client_ip,
-        server_ip=server_ip,
-        flows=flows,
-        events=events,
-        activity=activity,
-        window_series=window_series,
-        capture_start=capture_start,
-        capture_end=capture_end,
-    )
+    trace.window_series = TimeSeries.from_columns(
+        "recv-window", window_times, window_values)
+    return trace

@@ -149,6 +149,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="print the experiment's normal report before the profile "
              "(byte-identical to a run without telemetry)")
+    p_prof.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="also print the N hottest span paths ranked by cumulative "
+             "time (a flat hot-span table, not the indented tree)")
 
     p_bench = sub.add_parser(
         "bench",
@@ -434,6 +438,11 @@ def _cmd_profile(args) -> int:
              f"seed={args.seed} jobs={args.jobs} "
              f"cache={'on' if cache else 'off'} wall={elapsed:.2f}s")
     print(summarize(rec, title=title))
+    if args.top:
+        from .telemetry import format_hot_spans
+
+        print()
+        print(format_hot_spans(rec, top=args.top))
     if args.trace:
         n = write_jsonl(rec, args.trace)
         print(f"\ntrace written      : {args.trace} ({n} records)")

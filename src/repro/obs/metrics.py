@@ -67,12 +67,16 @@ def metric_samples(result: SessionResult, session_id: str) -> List[Dict]:
     cumulative = trace.cumulative_series()
     samples += _series_samples(cumulative, "download_bytes", session_id)
     rate = cumulative.binned_rate(RATE_BIN_S)
-    throughput = TimeSeries("throughput")
-    utilization = TimeSeries("utilization")
     down_bps = result.config.profile.down_bps
-    for t, bytes_per_s in rate:
-        throughput.append(t, bytes_per_s * 8)
-        utilization.append(t, (bytes_per_s * 8) / down_bps if down_bps else 0.0)
+    # Derived series share the rate's (already sorted) time column; the
+    # bulk constructor skips the per-append ordering check.
+    bits = [bytes_per_s * 8 for bytes_per_s in rate.values]
+    throughput = TimeSeries.from_columns("throughput", rate.times, bits)
+    utilization = TimeSeries.from_columns(
+        "utilization",
+        rate.times,
+        [b / down_bps for b in bits] if down_bps else [0.0] * len(bits),
+    )
     samples += _series_samples(throughput, "throughput_bps", session_id)
     samples += _series_samples(utilization, "link_utilization", session_id)
     samples += _series_samples(trace.window_series, "recv_window_bytes",

@@ -15,12 +15,14 @@ would).  Records are exposed in two equivalent forms:
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..tcp.constants import ACK as F_ACK
 from ..tcp.constants import FIN as F_FIN
 from ..tcp.constants import SYN as F_SYN
+from ..tcp.constants import header_overhead
 from ..tcp.segment import TcpSegment
 from ..tcp.seqspace import wrap
 from . import ethernet, ipv4, tcpwire
@@ -125,20 +127,68 @@ def segment_to_frame(seg: TcpSegment) -> bytes:
 
 
 class TraceCapture:
-    """A sniffer accumulating ``(timestamp, TcpSegment)`` pairs."""
+    """A sniffer recording per-segment fields into columnar buffers.
+
+    The tap copies each segment's scalar fields into parallel ``array``
+    columns instead of retaining the segment object — one append per
+    field, no per-packet Python object.  That keeps multi-megabyte
+    sessions allocation-lean (and lets the TCP layer pool segments: once
+    the tap has copied the fields, nothing holds a reference).  Real
+    payloads (HTTP heads, container metadata) are kept in a sparse dict
+    keyed by capture index; virtual video-body payloads store nothing.
+
+    :class:`PacketRecord` objects are materialized lazily, on each
+    :attr:`records` access, sorted by timestamp with capture order
+    breaking ties.
+    """
 
     def __init__(self, name: str = "capture", keep_payload: bool = True) -> None:
         self.name = name
         self.keep_payload = keep_payload
-        self._entries: List[Tuple[float, TcpSegment]] = []
+        self._t = array("d")           # capture timestamps
+        self._flow = array("i")        # index into _flow_table
+        self._seq = array("q")         # unwrapped sequence numbers
+        self._ack = array("q")         # unwrapped ack numbers
+        self._flags = array("i")
+        self._plen = array("i")        # payload lengths
+        self._window = array("q")      # raw byte windows (pre-quantization)
+        self._payloads: Dict[int, bytes] = {}   # capture index -> real payload
+        self._flow_table: List[Tuple[str, int, str, int]] = []
+        self._flow_index: Dict[Tuple[str, int, str, int], int] = {}
         self._stopped = False
+        self._records_cache: Optional[List[PacketRecord]] = None
+        # The tap runs once per captured packet; prebinding the column
+        # append methods keeps it to one call per field.
+        self._t_append = self._t.append
+        self._flow_append = self._flow.append
+        self._seq_append = self._seq.append
+        self._ack_append = self._ack.append
+        self._flags_append = self._flags.append
+        self._plen_append = self._plen.append
+        self._window_append = self._window.append
 
     # -- tap interface ------------------------------------------------------
 
     def tap(self, timestamp: float, segment: TcpSegment) -> None:
         """Link-tap callback; ignores packets after :meth:`stop`."""
-        if not self._stopped:
-            self._entries.append((timestamp, segment))
+        if self._stopped:
+            return
+        key = (segment.src_ip, segment.src_port,
+               segment.dst_ip, segment.dst_port)
+        idx = self._flow_index.get(key)
+        if idx is None:
+            idx = self._flow_index[key] = len(self._flow_table)
+            self._flow_table.append(key)
+        payload = segment.payload
+        if payload is not None:
+            self._payloads[len(self._t)] = payload
+        self._t_append(timestamp)
+        self._flow_append(idx)
+        self._seq_append(segment.seq)
+        self._ack_append(segment.ack)
+        self._flags_append(segment.flags)
+        self._plen_append(segment.payload_len)
+        self._window_append(segment.window)
 
     def attach(self, *links) -> "TraceCapture":
         """Attach to any number of links or paths; returns self.
@@ -162,23 +212,91 @@ class TraceCapture:
     # -- access -------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._t)
+
+    def _order(self) -> List[int]:
+        """Capture indices sorted by timestamp, capture order on ties."""
+        ts = self._t
+        return sorted(range(len(ts)), key=ts.__getitem__)
 
     @property
     def records(self) -> List[PacketRecord]:
-        """All captured segments as analysis records, in capture order."""
-        self._entries.sort(key=lambda e: e[0])
-        return [
-            record_from_segment(t, seg, self.keep_payload)
-            for t, seg in self._entries
-        ]
+        """All captured segments as analysis records, in capture order.
+
+        Materialized on first access and cached (keyed on the capture
+        length) so repeated analysis passes share one record list.
+        """
+        cached = self._records_cache
+        if cached is not None and len(cached) == len(self._t):
+            return cached
+        ts, flows = self._t, self._flow
+        seqs, acks = self._seq, self._ack
+        flagcol, plens, windows = self._flags, self._plen, self._window
+        table = self._flow_table
+        payloads = self._payloads if self.keep_payload else {}
+        payload_get = payloads.get
+        # Bypass the dataclass __init__ (keyword processing dominates when
+        # materializing tens of thousands of records): build the instance
+        # dict directly.  header_overhead() is a flags-only branch, so
+        # hoist both of its values out of the loop.
+        new = PacketRecord.__new__
+        cls = PacketRecord
+        overhead = header_overhead(0)
+        syn_overhead = header_overhead(F_SYN)
+        out = []
+        append = out.append
+        for i in self._order():
+            flags = flagcol[i]
+            window = windows[i]
+            # quantize exactly as the wire's scaled 16-bit field would
+            if flags & F_SYN:
+                window = min(window, 0xFFFF)
+                wire_len = syn_overhead
+            else:
+                window = min(window >> WSCALE_SHIFT, 0xFFFF) << WSCALE_SHIFT
+                wire_len = overhead
+            src_ip, src_port, dst_ip, dst_port = table[flows[i]]
+            plen = plens[i]
+            rec = new(cls)
+            rec.__dict__ = {
+                "timestamp": ts[i],
+                "src_ip": src_ip,
+                "src_port": src_port,
+                "dst_ip": dst_ip,
+                "dst_port": dst_port,
+                "seq": seqs[i] & 0xFFFFFFFF,
+                "ack": acks[i] & 0xFFFFFFFF,
+                "flags": flags,
+                "payload_len": plen,
+                "window": window,
+                "wire_len": wire_len + plen,
+                "payload": payload_get(i),
+            }
+            append(rec)
+        self._records_cache = out
+        return out
+
+    def iter_segments(self):
+        """Yield ``(timestamp, TcpSegment)`` in record order.
+
+        Segments are *reconstructed* from the columns (the originals are
+        not retained); pcap writers use this to serialize real frames.
+        """
+        table = self._flow_table
+        for i in self._order():
+            src_ip, src_port, dst_ip, dst_port = table[self._flow[i]]
+            yield self._t[i], TcpSegment(
+                src_ip, src_port, dst_ip, dst_port,
+                seq=self._seq[i], ack=self._ack[i], flags=self._flags[i],
+                window=self._window[i], payload_len=self._plen[i],
+                payload=self._payloads.get(i),
+            )
 
     def write_pcap(self, path: str, snaplen: int = DEFAULT_SNAPLEN) -> int:
         """Serialize the capture to a libpcap file; returns packet count."""
-        self._entries.sort(key=lambda e: e[0])
         with open(path, "wb") as f:
             writer = PcapWriter(f, snaplen=snaplen)
-            for timestamp, seg in self._entries:
+            for timestamp, seg in self.iter_segments():
                 writer.write_packet(timestamp, segment_to_frame(seg))
             return writer.packets_written
 

@@ -10,14 +10,34 @@ networks.  A packet handed to :meth:`Link.transmit`:
    finally delivered ``prop_delay`` seconds after serialization finishes.
 
 The queue is *virtual*: instead of an explicit FIFO we track the time at
-which the transmitter becomes idle, ``_busy_until``; the backlog in bytes at
-time ``t`` is ``(busy_until - t) * rate / 8``.  This is exact for a FIFO
-drop-tail queue and avoids per-packet bookkeeping.
+which the transmitter becomes idle, ``_busy_until``.  While the rate has
+not changed since the oldest queued packet was enqueued, the backlog in
+bytes at time ``t`` is exactly ``(busy_until - t) * rate / 8``; a small
+per-packet deque prices the backlog at each packet's *enqueue-time* rate
+when a mid-flight :meth:`set_rate` would otherwise misprice it.
+
+Packet-train batching
+---------------------
+
+Back-to-back deliveries of an uninterrupted train are held in a deque
+and only the head occupies the scheduler heap; each delivery posts the
+next entry with a sequence number *reserved at transmit time*
+(:meth:`EventScheduler.reserve_seq`), so the heap pops in bit-identical
+order to scheduling every delivery individually — results stay
+byte-identical while the heap stays shallow.  Loss models compose with
+batching because drop decisions are made at transmit time in both
+paths: a dropped packet simply never joins the train, consuming neither
+a scheduler event nor a sequence number, exactly like the unbatched
+path.  Fault injectors flip ``up``/``rate`` but never touch scheduled
+deliveries, so they are safe with batching too.  The module-level
+:data:`BATCH_DELIVERIES` switch turns the fast path off globally, which
+the equivalence tests use to prove the two paths agree.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from .errors import ConfigurationError
 from .loss import LossModel, NoLoss
@@ -26,6 +46,11 @@ from .scheduler import EventScheduler
 # A wire packet is anything exposing its on-the-wire size in bytes.
 DeliverFn = Callable[[Any], None]
 TapFn = Callable[[float, Any], None]
+
+#: Global default for the packet-train delivery fast path.  Tests flip
+#: this to prove batched and unbatched runs are byte-identical; there is
+#: no reason to disable it otherwise.
+BATCH_DELIVERIES = True
 
 
 class LinkStats:
@@ -87,6 +112,17 @@ class Link:
         self._busy_until = 0.0
         self._taps: List[TapFn] = []
         self._delivery_taps: List[TapFn] = []
+        # Per-packet backlog accounting: (finish_time, size, rate, epoch).
+        # The epoch stamps which set_rate() generation a packet was
+        # enqueued under, so backlog_bytes() knows when the closed-form
+        # virtual-queue formula is still exact.
+        self._queue: Deque[Tuple[float, int, float, int]] = deque()
+        self._queued_bytes = 0
+        self._rate_epoch = 0
+        # Delivery train: (deliver_at, reserved_seq, packet).  Only the
+        # head entry occupies the scheduler heap.
+        self._train: Deque[Tuple[float, int, Any]] = deque()
+        self._batch = BATCH_DELIVERIES
 
     # -- fault state --------------------------------------------------------
 
@@ -101,17 +137,22 @@ class Link:
         if rate_bps <= 0:
             raise ConfigurationError(f"rate_bps must be positive, got {rate_bps!r}")
         self.rate_bps = float(rate_bps)
+        self._rate_epoch += 1
 
     def reset(self) -> None:
         """Restore fault-free initial state for reuse across runs.
 
         Clears the loss model's internal state (burst position, packet
-        index), brings the link back up and restores the nominal rate, so
+        index), brings the link back up, restores the nominal rate and
+        abandons any in-flight delivery train (its pending scheduler
+        event, if any, belongs to the previous run's scheduler), so
         repeated sessions on one topology see identical loss processes.
         """
         self.loss_model.reset()
         self.up = True
         self.rate_bps = self.base_rate_bps
+        self._rate_epoch += 1
+        self._train.clear()
 
     # -- wiring -------------------------------------------------------------
 
@@ -134,10 +175,33 @@ class Link:
     # -- queue state --------------------------------------------------------
 
     def backlog_bytes(self, now: Optional[float] = None) -> float:
-        """Bytes currently queued (including the packet in serialization)."""
+        """Bytes currently queued (including the packet in serialization).
+
+        Each queued packet is priced at the rate in force when it was
+        *enqueued*: after a mid-flight :meth:`set_rate` degradation the
+        already-queued bytes do not shrink just because the conversion
+        factor changed.  When the rate has not changed since the oldest
+        queued packet, this reduces to the exact closed-form
+        ``(busy_until - t) * rate / 8``.
+        """
         t = self.scheduler.clock.now() if now is None else now
-        waiting = max(0.0, self._busy_until - t)
-        return waiting * self.rate_bps / 8.0
+        queue = self._queue
+        while queue and queue[0][0] <= t:
+            self._queued_bytes -= queue.popleft()[1]
+        if not queue:
+            return 0.0
+        head_finish, head_size, head_rate, head_epoch = queue[0]
+        if head_epoch == self._rate_epoch:
+            # Rate unchanged since the oldest queued packet: use the
+            # historical closed-form arithmetic (bit-for-bit).
+            return max(0.0, self._busy_until - t) * self.rate_bps / 8.0
+        # Mixed-rate queue: whole bytes of every queued packet, minus the
+        # part of the head already serialized at the head's own rate.
+        backlog = float(self._queued_bytes)
+        head_start = head_finish - head_size * 8.0 / head_rate
+        if t > head_start:
+            backlog -= (t - head_start) * head_rate / 8.0
+        return max(0.0, backlog)
 
     def serialization_delay(self, size_bytes: int) -> float:
         return size_bytes * 8.0 / self.rate_bps
@@ -152,38 +216,102 @@ class Link:
         """
         if self.deliver is None:
             raise ConfigurationError(f"link {self.name!r} has no delivery callback")
-        now = self.scheduler.clock.now()
-        self.stats.packets_in += 1
+        scheduler = self.scheduler
+        now = scheduler.clock._now
+        stats = self.stats
+        stats.packets_in += 1
         if not self.up:
-            self.stats.packets_blackholed += 1
+            stats.packets_blackholed += 1
             return True  # swallowed by the outage; the sender cannot tell
-        size = int(packet.wire_size)
-        if self.backlog_bytes(now) + size > self.buffer_bytes:
-            self.stats.packets_dropped_queue += 1
+        size = packet.wire_size
+        # drop-tail check, inlining backlog_bytes() (one call per packet)
+        queue = self._queue
+        while queue and queue[0][0] <= now:
+            self._queued_bytes -= queue.popleft()[1]
+        if queue:
+            head = queue[0]
+            if head[3] == self._rate_epoch:
+                backlog = max(0.0, self._busy_until - now) * self.rate_bps / 8.0
+            else:
+                backlog = float(self._queued_bytes)
+                head_start = head[0] - head[1] * 8.0 / head[2]
+                if now > head_start:
+                    backlog -= (now - head_start) * head[2] / 8.0
+                backlog = max(0.0, backlog)
+            if backlog + size > self.buffer_bytes:
+                stats.packets_dropped_queue += 1
+                return False
+        elif size > self.buffer_bytes:
+            stats.packets_dropped_queue += 1
             return False
-        start = max(now, self._busy_until)
-        finish = start + self.serialization_delay(size)
+        busy = self._busy_until
+        start = busy if busy > now else now
+        rate = self.rate_bps
+        finish = start + size * 8.0 / rate
         self._busy_until = finish
-        send_time = finish  # moment the last bit leaves the sender
-        for tap in self._taps:
-            tap(send_time, packet)
+        queue.append((finish, size, rate, self._rate_epoch))
+        self._queued_bytes += size
+        if self._taps:
+            send_time = finish  # moment the last bit leaves the sender
+            for tap in self._taps:
+                tap(send_time, packet)
+        if self._batch:
+            # Drop decisions are made here, at transmit time, exactly as
+            # the unbatched path does — RNG draw order, the drop set and
+            # the surviving packets' reserved seqs are all unchanged.
+            loss_model = self.loss_model
+            if type(loss_model) is not NoLoss and loss_model.should_drop():
+                stats.packets_lost += 1
+                return True  # consumed link capacity, vanished downstream
+            # Reserve the delivery's tie-break seq now, but only keep the
+            # train's head in the scheduler heap.
+            train = self._train
+            train.append((finish + self.prop_delay, scheduler.reserve_seq(), packet))
+            if len(train) == 1:
+                scheduler.post(train[0][0], train[0][1], self._deliver_next)
+            return True
         if self.loss_model.should_drop():
-            self.stats.packets_lost += 1
+            stats.packets_lost += 1
             return True  # consumed link capacity, then vanished downstream
-        deliver_at = finish + self.prop_delay
-        self.scheduler.at(
-            deliver_at, lambda p=packet: self._deliver(p), label=f"{self.name}:deliver"
-        )
+        scheduler.call_at(finish + self.prop_delay, self._deliver, packet)
         return True
 
-    def _deliver(self, packet: Any) -> None:
-        self.stats.packets_delivered += 1
-        self.stats.bytes_delivered += int(packet.wire_size)
-        now = self.scheduler.clock.now()
-        for tap in self._delivery_taps:
-            tap(now, packet)
-        assert self.deliver is not None
+    def _deliver_next(self) -> None:
+        """Deliver the train's head and re-post the next reserved entry.
+
+        The body of :meth:`_deliver` is inlined here — this runs once per
+        delivered packet on the loss-free fast path.
+        """
+        train = self._train
+        _t, _seq, packet = train.popleft()
+        if train:
+            nxt = train[0]
+            self.scheduler.post(nxt[0], nxt[1], self._deliver_next)
+        stats = self.stats
+        stats.packets_delivered += 1
+        stats.bytes_delivered += packet.wire_size
+        if self._delivery_taps:
+            now = self.scheduler.clock._now
+            for tap in self._delivery_taps:
+                tap(now, packet)
         self.deliver(packet)
+        # The receiver is done with the segment (processing is synchronous
+        # and the columnar taps copy fields out); pooled segments can be
+        # recycled for the sender's next build.
+        if getattr(packet, "poolable", False):
+            packet.release()
+
+    def _deliver(self, packet: Any) -> None:
+        stats = self.stats
+        stats.packets_delivered += 1
+        stats.bytes_delivered += int(packet.wire_size)
+        if self._delivery_taps:
+            now = self.scheduler.clock.now()
+            for tap in self._delivery_taps:
+                tap(now, packet)
+        self.deliver(packet)
+        if getattr(packet, "poolable", False):
+            packet.release()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -21,6 +21,20 @@ class TimeSeries:
         self.times: List[float] = []
         self.values: List[float] = []
 
+    @classmethod
+    def from_columns(cls, name: str, times, values) -> "TimeSeries":
+        """Build a series from parallel time/value columns in one shot.
+
+        The bulk-ingest fast path for columnar producers (flow tables,
+        exporters): the iterables are copied into plain lists without the
+        per-append time-order check — the caller guarantees ``times`` is
+        already non-decreasing.
+        """
+        series = cls(name)
+        series.times = list(times)
+        series.values = list(values)
+        return series
+
     def append(self, t: float, value: float) -> None:
         if self.times and t < self.times[-1]:
             raise ValueError(

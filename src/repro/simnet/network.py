@@ -25,6 +25,11 @@ class Network:
         self.rng = RngRegistry(seed)
         self._hosts: Dict[str, Host] = {}
         self._paths: Dict[Tuple[str, str], Tuple[Path, str]] = {}
+        # (src_ip, dst_ip) -> bound Link.transmit.  Safe to cache because
+        # add_path() refuses to replace an installed path and faults mutate
+        # Link objects in place; this turns per-segment routing into one
+        # dict hit.
+        self._transmit_cache: Dict[Tuple[str, str], Any] = {}
 
     @property
     def clock(self):
@@ -71,10 +76,23 @@ class Network:
 
     # -- forwarding ---------------------------------------------------------
 
+    def transmit_fn(self, src_ip: str, dst_ip: str) -> Any:
+        """The bound ``Link.transmit`` carrying ``src_ip -> dst_ip`` traffic.
+
+        Cached per (src, dst) pair; connections hold on to it so each
+        segment skips the host/network/path resolution hops.  Links are
+        mutated in place (never replaced), so the binding stays valid.
+        """
+        key = (src_ip, dst_ip)
+        transmit = self._transmit_cache.get(key)
+        if transmit is None:
+            path, endpoint = self.path_between(src_ip, dst_ip)
+            transmit = self._transmit_cache[key] = path.link_from(endpoint).transmit
+        return transmit
+
     def route(self, src: Host, segment: Any) -> None:
         """Forward ``segment`` from ``src`` toward ``segment.dst_ip``."""
-        path, endpoint = self.path_between(src.ip, segment.dst_ip)
-        path.link_from(endpoint).transmit(segment)
+        self.transmit_fn(src.ip, segment.dst_ip)(segment)
 
     # -- execution shortcuts --------------------------------------------------
 

@@ -30,6 +30,10 @@ class Host:
         self._connections: Dict[ConnKey, SegmentHandler] = {}
         self._listeners: Dict[int, SegmentHandler] = {}
         self._next_ephemeral = EPHEMERAL_PORT_START
+        # Monomorphic demux cache: most hosts carry one flow, so remember
+        # the last (key, handler) hit and skip the dict probe.
+        self._last_key: Optional[ConnKey] = None
+        self._last_handler: Optional[SegmentHandler] = None
 
     # -- port management ----------------------------------------------------
 
@@ -43,9 +47,11 @@ class Host:
         if key in self._connections:
             raise AddressError(f"{self.name}: connection {key!r} already registered")
         self._connections[key] = handler
+        self._last_key = None
 
     def unregister_connection(self, key: ConnKey) -> None:
         self._connections.pop(key, None)
+        self._last_key = None
 
     def listen(self, port: int, handler: SegmentHandler) -> None:
         """Register a listener receiving segments for unknown flows on ``port``
@@ -68,9 +74,16 @@ class Host:
     def deliver_segment(self, segment: Any) -> None:
         """Called by the network when a segment arrives for this host."""
         key: ConnKey = (segment.dst_port, segment.src_ip, segment.src_port)
+        if key == self._last_key:
+            self._last_handler(segment)
+            return
         handler = self._connections.get(key)
-        if handler is None:
-            handler = self._listeners.get(segment.dst_port)
+        if handler is not None:
+            self._last_key = key
+            self._last_handler = handler
+            handler(segment)
+            return
+        handler = self._listeners.get(segment.dst_port)
         if handler is None:
             # A real stack would emit RST; for the simulation we silently
             # drop, which is what a capture box sees for stray packets.

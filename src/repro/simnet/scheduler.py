@@ -7,13 +7,32 @@ cancelled event stays in the heap but is skipped when popped).
 
 Ties are broken by insertion order so that the simulation is fully
 deterministic for a given seed.
+
+Fast path
+---------
+
+Heap entries are plain tuples ``(time, seq, callback, arg)``: because
+``seq`` is unique, tuple comparison never reaches the callback, so heap
+sifting runs entirely in C instead of calling ``EventHandle.__lt__``
+roughly ``n log n`` times per run.  Two entry shapes share the heap:
+
+* :meth:`EventScheduler.call_at` / :meth:`EventScheduler.call_after`
+  schedule a bare callback (optionally with one argument, so hot callers
+  pass the packet as ``arg`` instead of allocating a closure).  These
+  events cannot be cancelled and allocate nothing but the heap tuple.
+* :meth:`EventScheduler.at` / :meth:`EventScheduler.after` still return a
+  cancellable :class:`EventHandle`; the handle rides in the callback slot
+  of the tuple, marked by the ``_HANDLE`` sentinel in the ``arg`` slot.
+
+:attr:`EventScheduler.pending` is O(1): an incremental live counter is
+maintained at push, pop and cancel instead of scanning the heap.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..telemetry import current_recorder
 from .clock import SimClock
@@ -21,21 +40,35 @@ from .errors import SchedulingError
 
 Callback = Callable[[], None]
 
+#: Sentinel in an entry's ``arg`` slot: the callback slot holds an
+#: :class:`EventHandle` (the cancellable slow path).
+_HANDLE = object()
+#: Sentinel in an entry's ``arg`` slot: the callback takes no argument.
+_NO_ARG = object()
+
+#: A heap entry: ``(time, seq, callback_or_handle, arg_or_sentinel)``.
+HeapEntry = Tuple[float, int, Any, Any]
+
 
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "seq", "callback", "label")
+    __slots__ = ("time", "seq", "callback", "label", "_sched")
 
-    def __init__(self, time: float, seq: int, callback: Optional[Callback], label: str):
+    def __init__(self, time: float, seq: int, callback: Optional[Callback],
+                 label: str, sched: Optional["EventScheduler"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.label = label
+        self._sched = sched
 
     def cancel(self) -> None:
         """Cancel the event.  Idempotent; a fired event cannot be cancelled."""
-        self.callback = None
+        if self.callback is not None:
+            self.callback = None
+            if self._sched is not None:
+                self._sched._live -= 1
 
     @property
     def cancelled(self) -> bool:
@@ -54,8 +87,9 @@ class EventScheduler:
 
     def __init__(self, clock: Optional[SimClock] = None) -> None:
         self.clock = clock if clock is not None else SimClock()
-        self._heap: List[EventHandle] = []
+        self._heap: List[HeapEntry] = []
         self._counter = itertools.count()
+        self._live = 0
         self._fired = 0
         # Captured once: a scheduler lives inside exactly one session (or
         # test), so the recorder in effect at construction is the right
@@ -70,8 +104,9 @@ class EventScheduler:
         now = self.clock.now()
         if time < now:
             raise SchedulingError(f"cannot schedule at {time!r}; now is {now!r}")
-        handle = EventHandle(time, next(self._counter), callback, label)
-        heapq.heappush(self._heap, handle)
+        handle = EventHandle(time, next(self._counter), callback, label, self)
+        heapq.heappush(self._heap, (time, handle.seq, handle, _HANDLE))
+        self._live += 1
         return handle
 
     def after(self, delay: float, callback: Callback, label: str = "") -> EventHandle:
@@ -80,30 +115,94 @@ class EventScheduler:
             raise SchedulingError(f"negative delay {delay!r}")
         return self.at(self.clock.now() + delay, callback, label)
 
+    def call_at(self, time: float, callback: Callable, arg: Any = _NO_ARG) -> None:
+        """Schedule a non-cancellable ``callback`` at absolute time ``time``.
+
+        The allocation-lean fast path: no :class:`EventHandle` is created
+        and none is returned.  When ``arg`` is given the event fires as
+        ``callback(arg)`` — hot callers pass their per-event state (e.g.
+        the packet being delivered) this way instead of binding it in a
+        closure.
+        """
+        now = self.clock.now()
+        if time < now:
+            raise SchedulingError(f"cannot schedule at {time!r}; now is {now!r}")
+        heapq.heappush(self._heap, (time, next(self._counter), callback, arg))
+        self._live += 1
+
+    def call_after(self, delay: float, callback: Callable,
+                   arg: Any = _NO_ARG) -> None:
+        """Schedule a non-cancellable ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r}")
+        self.call_at(self.clock.now() + delay, callback, arg)
+
+    def reserve_seq(self) -> int:
+        """Consume and return the next insertion-order sequence number.
+
+        Lets a caller fix an event's tie-break position *now* while
+        posting the event later via :meth:`post` — the packet-train
+        batching in :class:`~repro.simnet.link.Link` uses this to keep
+        heap ordering bit-identical to scheduling every delivery up
+        front.
+        """
+        return next(self._counter)
+
+    def post(self, time: float, seq: int, callback: Callable,
+             arg: Any = _NO_ARG) -> None:
+        """Insert an event whose seq was taken earlier via :meth:`reserve_seq`.
+
+        ``time`` must not be in the past (the caller guarantees it; no
+        check is made — this is the hot path) and ``seq`` must be unique.
+        """
+        heapq.heappush(self._heap, (time, seq, callback, arg))
+        self._live += 1
+
     # -- execution ----------------------------------------------------------
 
-    def _pop_live(self) -> Optional[EventHandle]:
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if not handle.cancelled:
-                return handle
+    def _pop_live(self) -> Optional[HeapEntry]:
+        """Pop entries until a live one is found; returns ``None`` when empty.
+
+        For handle-carrying entries the handle's callback is moved into
+        the returned tuple's callback slot (and cleared on the handle, so
+        a later ``cancel()`` is a no-op).
+        """
+        heap = self._heap
+        while heap:
+            time_, seq, cb, arg = heapq.heappop(heap)
+            if arg is _HANDLE:
+                fn = cb.callback
+                if fn is None:
+                    continue  # cancelled: lazily deleted (already un-counted)
+                cb.callback = None
+                self._live -= 1
+                return (time_, seq, fn, _NO_ARG)
+            self._live -= 1
+            return (time_, seq, cb, arg)
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` when the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[3] is _HANDLE and head[2].callback is None:
+                heapq.heappop(heap)
+                continue
+            return head[0]
+        return None
 
     def step(self) -> bool:
         """Fire the next event.  Returns ``False`` when no events remain."""
-        handle = self._pop_live()
-        if handle is None:
+        entry = self._pop_live()
+        if entry is None:
             return False
-        self.clock.advance_to(handle.time)
-        callback, handle.callback = handle.callback, None
-        assert callback is not None
-        callback()
+        time_, _seq, callback, arg = entry
+        self.clock.advance_to(time_)
+        if arg is _NO_ARG:
+            callback()
+        else:
+            callback(arg)
         self._fired += 1
         return True
 
@@ -115,14 +214,45 @@ class EventScheduler:
         consistent time.
         """
         fired = 0
-        while True:
-            if max_events is not None and fired >= max_events:
-                break
-            nxt = self.peek_time()
-            if nxt is None or nxt > t:
-                break
-            self.step()
-            fired += 1
+        if max_events is None:
+            # Fast loop: one heap pop per event, no peek_time() cleanup
+            # pass, clock advanced by direct assignment (pop order is
+            # nondecreasing by heap invariant, so monotonicity holds).
+            heap = self._heap
+            clock = self.clock
+            heappop = heapq.heappop
+            while heap:
+                entry = heap[0]
+                time_ = entry[0]
+                if time_ > t:
+                    break
+                heappop(heap)
+                cb = entry[2]
+                arg = entry[3]
+                if arg is _HANDLE:
+                    fn = cb.callback
+                    if fn is None:
+                        continue
+                    cb.callback = None
+                    self._live -= 1
+                    clock._now = time_
+                    fn()
+                else:
+                    self._live -= 1
+                    clock._now = time_
+                    if arg is _NO_ARG:
+                        cb()
+                    else:
+                        cb(arg)
+                fired += 1
+            self._fired += fired
+        else:
+            while fired < max_events:
+                nxt = self.peek_time()
+                if nxt is None or nxt > t:
+                    break
+                self.step()
+                fired += 1
         if self.clock.now() < t:
             self.clock.advance_to(t)
         if fired and self._telemetry.enabled:
@@ -154,7 +284,7 @@ class EventScheduler:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        return self._live
 
     @property
     def fired(self) -> int:

@@ -84,11 +84,18 @@ class HttpResponseStream:
             if room <= 0:
                 self._finish_response()
                 continue
-            n = conn.recv_discard(min(max_bytes - consumed, room))
+            asked = max_bytes - consumed
+            if room < asked:
+                asked = room
+            n = conn.recv_discard(asked)
             if n == 0:
                 break
             self._account_body(n)
             consumed += n
+            if n < asked:
+                # the socket's in-order queue is drained; the next loop
+                # iteration would just issue an empty read
+                break
         if self.in_body and self._body_received >= self._body_expected:
             self._finish_response()
         return consumed

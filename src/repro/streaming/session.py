@@ -81,7 +81,6 @@ class SessionResult:
     video: Video
     config: SessionConfig
     container: Container
-    records: List[PacketRecord]
     downloaded: int
     connections_opened: int
     playback_position_s: float
@@ -110,6 +109,16 @@ class SessionResult:
     #: Per-session telemetry snapshot; ``None`` unless the session ran
     #: inside an enabled :func:`repro.telemetry.recording` scope.
     telemetry: Optional[SessionTelemetry] = None
+
+    @property
+    def records(self) -> List[PacketRecord]:
+        """Captured packets as analysis records.
+
+        Materialized lazily from the capture's columnar buffers (and
+        cached there): sessions whose results are consumed through the
+        columnar paths never pay for per-packet record objects.
+        """
+        return self.capture.records
 
     @property
     def stall_time_s(self) -> float:
@@ -268,7 +277,7 @@ def _run_session_impl(video: Video, config: SessionConfig) -> SessionResult:
     if rec.enabled:
         rec.inc("sessions.completed")
         rec.inc("tcp.connections_opened", player.connections_opened)
-        rec.inc("pcap.packets", len(capture.records))
+        rec.inc("pcap.packets", len(capture))
         rec.observe("session.sim_seconds", net.now())
         rec.observe("session.downloaded_bytes", player.downloaded)
         rec.event("session.end", t=net.now(), video=video.video_id,
@@ -280,7 +289,6 @@ def _run_session_impl(video: Video, config: SessionConfig) -> SessionResult:
         video=video,
         config=config,
         container=container,
-        records=capture.records,
         downloaded=player.downloaded,
         connections_opened=player.connections_opened,
         playback_position_s=player.playback_position_s(),

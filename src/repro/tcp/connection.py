@@ -139,6 +139,9 @@ class TcpConnection:
         # Recorder captured once per connection: `_emit` runs per segment,
         # so the disabled path must cost a single attribute check.
         self._telemetry = current_recorder()
+        # Clock alias for the per-segment paths: reading ``_clock._now``
+        # is two attribute loads instead of a bound-method call.
+        self._clock = scheduler.clock
 
         # send side
         self.iss = self.config.iss
@@ -173,12 +176,30 @@ class TcpConnection:
         self._adv_window_last = self.recvbuf.window
         self._segs_since_ack = 0
 
-        # timers
+        # timers — the retransmit and delayed-ACK timers are *deadline
+        # based*: arming/cancelling them (which happens on nearly every
+        # segment) only stores a float, while at most one scheduler event
+        # per timer is in flight and lazily re-arms itself (see
+        # ``_restart_rexmit_timer``).
         self._rexmit_timer: Optional[EventHandle] = None
+        self._rexmit_deadline: Optional[float] = None
+        self._rexmit_event_time = 0.0
         self._delack_timer: Optional[EventHandle] = None
+        self._delack_deadline: Optional[float] = None
         self._persist_timer: Optional[EventHandle] = None
         self._persist_backoff = 1.0
         self._timewait_timer: Optional[EventHandle] = None
+        # Window-update threshold of ``_after_app_read``; both inputs are
+        # fixed at construction.
+        self._wupdate_threshold = min(
+            2 * self.config.mss, self.recvbuf.capacity // 2
+        )
+        # Resolved lazily on first emit: the bottleneck link's bound
+        # ``transmit`` for this flow's (src, dst) pair, skipping the
+        # host -> network -> path hop on every segment.  Links are mutated
+        # in place by faults (rate/up flips), never swapped, so the bound
+        # method stays valid for the connection's lifetime.
+        self._transmit = None
 
         # optional congestion-window trace
         self.cwnd_series = None
@@ -338,54 +359,91 @@ class TcpConnection:
         payload: Optional[bytes] = None,
         retransmission: bool = False,
     ) -> TcpSegment:
-        window = self.recvbuf.window
-        seg = TcpSegment(
+        rb = self.recvbuf
+        # inline ReceiveBuffer.window (monotone right edge); this runs
+        # once per segment sent
+        rcv_nxt = rb.rcv_nxt
+        edge = rcv_nxt + rb.capacity - rb._unread - rb._ooo_bytes
+        if edge > rb._right_edge:
+            rb._right_edge = edge
+        window = rb._right_edge - rcv_nxt
+        self._adv_window_last = window
+        # inline _ack_no(): this runs once per segment sent
+        irs = self.irs
+        if irs is None:
+            ack = 0
+        else:
+            ack = irs + 1 + rb.rcv_nxt
+            if self._peer_fin_processed:
+                ack += 1
+        if payload is None and not retransmission and not (flags & (SYN | FIN | RST)):
+            # Retransmit-free virtual-payload path (video body segments and
+            # pure ACKs): reuse a pooled segment; the delivering link
+            # releases it once the receiver has processed it.
+            return TcpSegment.acquire(
+                self.local_ip,
+                self.local_port,
+                self.remote_ip,
+                self.remote_port,
+                seq=seq,
+                ack=ack,
+                flags=flags,
+                window=window,
+                payload_len=payload_len,
+                sent_at=self._clock._now,
+            )
+        return TcpSegment(
             self.local_ip,
             self.local_port,
             self.remote_ip,
             self.remote_port,
             seq=seq,
-            ack=self._ack_no(),
+            ack=ack,
             flags=flags,
             window=window,
             payload_len=payload_len,
             payload=payload,
-            sent_at=self.scheduler.clock.now(),
+            sent_at=self._clock._now,
             retransmission=retransmission,
         )
-        self._adv_window_last = window
-        return seg
 
     def _emit(self, seg: TcpSegment) -> None:
-        self.stats.segments_sent += 1
-        if seg.payload_len:
-            self.stats.bytes_sent += seg.payload_len
+        stats = self.stats
+        stats.segments_sent += 1
+        plen = seg.payload_len
+        if plen:
+            stats.bytes_sent += plen
             if seg.retransmission:
-                self.stats.retransmitted_segments += 1
-                self.stats.retransmitted_bytes += seg.payload_len
-        if self._telemetry.enabled:
-            self._telemetry.inc("tcp.segments_sent")
-            if seg.payload_len:
-                self._telemetry.inc("tcp.bytes_sent", seg.payload_len)
+                stats.retransmitted_segments += 1
+                stats.retransmitted_bytes += plen
+        elif seg.flags == ACK:  # pure ACK
+            stats.acks_sent += 1
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.inc("tcp.segments_sent")
+            if plen:
+                telemetry.inc("tcp.bytes_sent", plen)
                 if seg.retransmission:
-                    self._telemetry.inc("tcp.retransmits")
-        if seg.is_pure_ack:
-            self.stats.acks_sent += 1
-        self._last_activity = self.scheduler.clock.now()
+                    telemetry.inc("tcp.retransmits")
+        self._last_activity = self._clock._now
         if self.cwnd_series is not None and (
             not self.cwnd_series.values
             or self.cwnd_series.values[-1] != self.cc.cwnd
         ):
             self.cwnd_series.append(self._last_activity, float(self.cc.cwnd))
-        self.host.send_segment(seg)
+        transmit = self._transmit
+        if transmit is None:
+            network = self.host.network
+            if network is None:
+                self.host.send_segment(seg)  # raises AddressError
+                return
+            transmit = self._transmit = network.transmit_fn(
+                self.local_ip, self.remote_ip
+            )
+        transmit(seg)
 
     def _send_control(self, flags: int, seq: int) -> None:
         self._emit(self._build_segment(flags, seq))
-
-    def _maybe_idle_restart(self) -> None:
-        idle = self.scheduler.clock.now() - self._last_activity
-        if idle > 0:
-            self.cc.on_idle(idle, self.rtt.rto)
 
     def _try_send(self) -> None:
         """Transmit as much queued data as windows permit; handle FIN."""
@@ -393,40 +451,53 @@ class TcpConnection:
             return
         if not self._syn_acked:
             return
-        self._maybe_idle_restart()
+        cc = self.cc
+        idle = self._clock._now - self._last_activity
+        if idle > 0:
+            cc.on_idle(idle, self.rtt.rto)
+        stream = self.stream
+        mss = self.config.mss
         sent_any = False
         while True:
-            unsent = self.stream.length - self.snd_nxt_off
+            off = self.snd_nxt_off
+            unsent = stream.length - off
             if unsent <= 0:
                 break
-            window = self.effective_window()
-            take = min(self.config.mss, unsent, window)
+            # effective window: min(cwnd, peer window) minus in flight
+            wnd = cc.cwnd
+            snd_wnd = self.snd_wnd
+            if snd_wnd < wnd:
+                wnd = snd_wnd
+            window = int(wnd) - (off - self.snd_una_off)
+            take = mss if mss < unsent else unsent
+            if window < take:
+                take = window
             # sender-side silly-window avoidance: don't send a runt unless
             # it is the final piece of the queued stream
-            if take <= 0 or (take < self.config.mss and take < unsent):
-                if self.unacked_bytes == 0 and self.snd_wnd < self.config.mss:
+            if take <= 0 or (take < mss and take < unsent):
+                if off == self.snd_una_off and snd_wnd < mss:
                     # receiver-limited with nothing in flight: only a window
                     # probe can restart the transfer
                     self._start_persist()
                 break
-            off = self.snd_nxt_off
-            payload = self.stream.read_range(off, off + take)
+            payload = stream.read_range(off, off + take)
             flags = ACK | (PSH if take == unsent else 0)
             # after a timeout snd_nxt rolls back (go-back-N), so offsets
             # below the high-water mark are retransmissions
             is_retx = off < self._high_water_off
             seg = self._build_segment(
                 flags,
-                self._seq_for_data(off),
+                self.iss + 1 + off,
                 payload_len=take,
                 payload=payload,
                 retransmission=is_retx,
             )
-            self.snd_nxt_off += take
-            if self.snd_nxt_off > self._high_water_off:
-                self._high_water_off = self.snd_nxt_off
+            off += take
+            self.snd_nxt_off = off
+            if off > self._high_water_off:
+                self._high_water_off = off
             if self._rtt_probe is None and not is_retx:
-                self._rtt_probe = (self.snd_nxt_off, self.scheduler.clock.now())
+                self._rtt_probe = (off, self._clock._now)
             self._emit(seg)
             sent_any = True
         # FIN: everything sent, nothing more queued
@@ -440,35 +511,69 @@ class TcpConnection:
             self._send_control(FIN | ACK, seq=self._seq_for_data(self._fin_off))
             sent_any = True
         if sent_any:
-            self._cancel_delack()  # data segments carry the ACK
-            if self._rexmit_timer is None:
+            self._delack_deadline = None  # data segments carry the ACK
+            if self._rexmit_deadline is None:
                 self._restart_rexmit_timer()
 
     # ---------------------------------------------------------- retransmit
+    #
+    # The timer is restarted on every ACK that leaves data outstanding, so
+    # an eager cancel-and-reschedule would allocate a handle and churn the
+    # heap tens of thousands of times per session.  Instead the restart
+    # stores ``_rexmit_deadline`` (a float) and keeps at most one event in
+    # flight: when the event fires before the deadline it re-arms itself
+    # at the current deadline.  An actual timeout therefore still fires at
+    # exactly ``restart_time + rto`` — the same absolute float the eager
+    # scheme produced.
 
     def _restart_rexmit_timer(self) -> None:
-        self._cancel_rexmit_timer()
-        self._rexmit_timer = self.scheduler.after(
-            self.rtt.rto, self._on_rexmit_timeout, label=f"{self.name}:rto"
-        )
+        rto = self.rtt.rto
+        deadline = self._clock._now + rto
+        self._rexmit_deadline = deadline
+        timer = self._rexmit_timer
+        if timer is None:
+            self._rexmit_timer = self.scheduler.after(
+                rto, self._rexmit_tick, label=f"{self.name}:rto"
+            )
+            self._rexmit_event_time = deadline
+        elif self._rexmit_event_time > deadline:
+            # the RTO shrank below the in-flight event's time (fresh
+            # samples after a backoff reset): bring the event forward so
+            # the timeout cannot fire late
+            timer.cancel()
+            self._rexmit_timer = self.scheduler.at(
+                deadline, self._rexmit_tick, label=f"{self.name}:rto"
+            )
+            self._rexmit_event_time = deadline
 
     def _cancel_rexmit_timer(self) -> None:
-        if self._rexmit_timer is not None:
-            self._rexmit_timer.cancel()
-            self._rexmit_timer = None
+        # the in-flight event, if any, dies lazily at its scheduled time
+        self._rexmit_deadline = None
+
+    def _rexmit_tick(self) -> None:
+        self._rexmit_timer = None
+        deadline = self._rexmit_deadline
+        if deadline is None:
+            return  # cancelled since the event was scheduled
+        if self._clock._now < deadline:
+            # the deadline moved while we were queued: re-arm at it
+            self._rexmit_timer = self.scheduler.at(
+                deadline, self._rexmit_tick, label=f"{self.name}:rto"
+            )
+            self._rexmit_event_time = deadline
+            return
+        self._on_rexmit_timeout()
 
     def _outstanding(self) -> bool:
-        if self.state in (SYN_SENT, SYN_RCVD) and not self._syn_acked:
-            return True
-        if self.unacked_bytes > 0:
+        if self.snd_nxt_off > self.snd_una_off:  # unacked data
             return True
         if self._fin_sent and not self._fin_acked:
             return True
-        return False
+        return self.state in (SYN_SENT, SYN_RCVD) and not self._syn_acked
 
     def _on_rexmit_timeout(self) -> None:
-        self._rexmit_timer = None
         if not self._outstanding():
+            self._rexmit_deadline = None
             return
         self._rexmit_count += 1
         if (self.config.max_rexmit is not None
@@ -551,34 +656,57 @@ class TcpConnection:
     # -------------------------------------------------------------- ACKing
 
     def _ack_now(self) -> None:
-        self._cancel_delack()
+        self._delack_deadline = None
         self._segs_since_ack = 0
         self._send_control(ACK, seq=self._snd_nxt_seq())
 
+    # The delayed-ACK timer uses the same deadline pattern as the
+    # retransmit timer: scheduling and cancelling are float stores; a
+    # single lazily re-arming event fires the ACK at exactly the time the
+    # eager schedule would have.
+
     def _schedule_delack(self) -> None:
-        if self._delack_timer is None:
-            self._delack_timer = self.scheduler.after(
-                self.config.delayed_ack, self._on_delack, label=f"{self.name}:delack"
-            )
+        if self._delack_deadline is None:
+            delay = self.config.delayed_ack
+            self._delack_deadline = self._clock._now + delay
+            if self._delack_timer is None:
+                self._delack_timer = self.scheduler.after(
+                    delay, self._delack_tick, label=f"{self.name}:delack"
+                )
 
     def _cancel_delack(self) -> None:
-        if self._delack_timer is not None:
-            self._delack_timer.cancel()
-            self._delack_timer = None
+        # the in-flight event, if any, dies (or re-arms) lazily
+        self._delack_deadline = None
 
-    def _on_delack(self) -> None:
+    def _delack_tick(self) -> None:
         self._delack_timer = None
+        deadline = self._delack_deadline
+        if deadline is None:
+            return  # cancelled: the ACK was sent by other means
+        if self._clock._now < deadline:
+            self._delack_timer = self.scheduler.at(
+                deadline, self._delack_tick, label=f"{self.name}:delack"
+            )
+            return
+        self._delack_deadline = None
         self._segs_since_ack = 0
         self._send_control(ACK, seq=self._snd_nxt_seq())
 
     def _after_app_read(self) -> None:
         """Send a window update when the application frees enough space."""
-        window = self.recvbuf.window
-        opened = window - self._adv_window_last
-        threshold = min(2 * self.config.mss, self.recvbuf.capacity // 2)
-        if self._adv_window_last < self.config.mss and window >= self.config.mss:
+        rb = self.recvbuf
+        # inline ReceiveBuffer.window (monotone right edge); this runs
+        # after every application read
+        rcv_nxt = rb.rcv_nxt
+        edge = rcv_nxt + rb.capacity - rb._unread - rb._ooo_bytes
+        if edge > rb._right_edge:
+            rb._right_edge = edge
+        window = rb._right_edge - rcv_nxt
+        last = self._adv_window_last
+        mss = self.config.mss
+        if last < mss and window >= mss:
             self._ack_now()
-        elif opened >= threshold:
+        elif window - last >= self._wupdate_threshold:
             self._ack_now()
 
     # ----------------------------------------------------- segment arrival
@@ -586,20 +714,17 @@ class TcpConnection:
     def on_segment(self, seg: TcpSegment) -> None:
         """Entry point for segments delivered by the host."""
         self.stats.segments_received += 1
-        self._last_activity = self.scheduler.clock.now()
+        self._last_activity = self._clock._now
         if seg.flags & RST:
             self._teardown("reset-by-peer")
             return
-        handler = {
-            SYN_SENT: self._segment_in_syn_sent,
-            SYN_RCVD: self._segment_in_syn_rcvd,
-        }.get(self.state)
-        if handler is not None:
-            handler(seg)
-            return
-        if self.state == CLOSED:
-            return
-        self._segment_in_open_states(seg)
+        state = self.state
+        if state == SYN_SENT:
+            self._segment_in_syn_sent(seg)
+        elif state == SYN_RCVD:
+            self._segment_in_syn_rcvd(seg)
+        elif state != CLOSED:
+            self._segment_in_open_states(seg)
 
     # -- handshake ------------------------------------------------------------
 
@@ -659,31 +784,34 @@ class TcpConnection:
     # -- established and closing states ----------------------------------------
 
     def _segment_in_open_states(self, seg: TcpSegment) -> None:
-        if seg.is_syn:
+        flags = seg.flags  # bit tests beat the is_* properties on this hot path
+        if flags & SYN:
             # stale duplicate SYN-ACK: just re-ACK
             self._ack_now()
             return
-        if seg.is_ack:
+        if flags & ACK:
             self._process_ack(seg)
         if self.state == CLOSED:
             return
         delivered = 0
         needs_ack = False
-        if seg.payload_len:
+        plen = seg.payload_len
+        if plen:
+            rb = self.recvbuf
             data_off = seg.seq - (self.irs + 1)
-            before_gap = self.recvbuf.has_gap
-            delivered = self.recvbuf.offer(data_off, seg.payload_len, seg.payload)
-            after_gap = self.recvbuf.has_gap
-            if after_gap or before_gap or delivered == 0:
+            before_gap = bool(rb._ooo)  # inlined ReceiveBuffer.has_gap
+            delivered = rb.offer(data_off, plen, seg.payload)
+            if rb._ooo or before_gap or delivered == 0:
                 # out-of-order, gap-filling, or out-of-window: ACK right away
                 self._ack_now()
             else:
-                self._segs_since_ack += 1
-                if self._segs_since_ack >= 2:
+                n = self._segs_since_ack + 1
+                if n >= 2:
                     self._ack_now()
                 else:
+                    self._segs_since_ack = n
                     self._schedule_delack()
-        if seg.is_fin:
+        if flags & FIN:
             fin_off = (seg.seq + seg.payload_len) - (self.irs + 1)
             self._peer_fin_off = fin_off
             needs_ack = True
@@ -719,10 +847,13 @@ class TcpConnection:
         # e.g. the player just drained its buffer) must not count as a
         # duplicate ACK; a shrinking window merely reflects out-of-order
         # data held at the receiver and does not disqualify the dup-ACK.
-        window_grew = seg.window > self._last_wnd_seen >= 0
-        self._last_wnd_seen = seg.window
-        self.snd_wnd = seg.window
-        if self.snd_wnd >= self.config.mss:
+        wnd = seg.window
+        window_grew = wnd > self._last_wnd_seen >= 0
+        self._last_wnd_seen = wnd
+        self.snd_wnd = wnd
+        if wnd >= self.config.mss and (
+            self._persist_timer is not None or self._persist_backoff != 1.0
+        ):
             # a usable window opened: stop probing and clear probe backoff
             self._cancel_persist()
 
@@ -745,11 +876,11 @@ class TcpConnection:
             if self._rtt_probe and self._rtt_probe[0] != "syn":
                 probe_end, t0 = self._rtt_probe
                 if effective_ack >= probe_end:
-                    self.rtt.sample(self.scheduler.clock.now() - t0)
+                    self.rtt.sample(self._clock._now - t0)
                     self._rtt_probe = None
             # RFC 2861-style validation: only grow cwnd when the flight was
             # actually limited by it (the acked data probed the path)
-            flight_before = self.unacked_bytes + newly
+            flight_before = (self.snd_nxt_off - self.snd_una_off) + newly
             cwnd_limited = flight_before >= self.cc.cwnd - self.config.mss
             if self.cc.in_recovery and effective_ack < self._recover_off():
                 # NewReno partial ACK: retransmit the next hole immediately
@@ -764,9 +895,10 @@ class TcpConnection:
             else:
                 self._cancel_rexmit_timer()
         elif (
-            seg.is_pure_ack
+            seg.flags == ACK
+            and seg.payload_len == 0  # inlined is_pure_ack
             and ack_off == self.snd_una_off
-            and self.unacked_bytes > 0
+            and self.snd_nxt_off > self.snd_una_off
             and not window_grew
         ):
             self._dupacks += 1
@@ -781,7 +913,14 @@ class TcpConnection:
         if fin_now_acked and not self._fin_acked:
             self._fin_acked = True
             self._on_local_fin_acked()
-        self._try_send()
+        # _try_send is a no-op without unsent data or an unsent FIN (idle
+        # restart cannot trigger here: on_segment just stamped
+        # _last_activity), so skip the call on the receiver-side common
+        # case — every data segment carries an ACK that lands here.
+        if self.stream._length > self.snd_nxt_off or (
+            self._fin_pending and not self._fin_sent
+        ):
+            self._try_send()
 
     def _recover_off(self) -> int:
         """The NewReno ``recover`` point as a stream offset."""

@@ -70,10 +70,18 @@ class ReceiveBuffer:
         """
         if length == 0:
             return 0
+        rcv_nxt = self.rcv_nxt
         end = seq + length
-        if end <= self.rcv_nxt:
+        if end <= rcv_nxt:
             return 0  # complete duplicate
-        window_end = self.rcv_nxt + self.window
+        # window right edge, inlining the ``window`` property (this runs
+        # once per delivered data segment)
+        raw = self.capacity - self._unread - self._ooo_bytes
+        window_end = rcv_nxt + raw
+        if window_end > self._right_edge:
+            self._right_edge = window_end
+        else:
+            window_end = self._right_edge
         if seq >= window_end:
             return 0  # entirely beyond the advertised window
         # trim to window
@@ -82,18 +90,19 @@ class ReceiveBuffer:
                 payload = payload[: window_end - seq]
             end = window_end
             length = end - seq
-        if seq > self.rcv_nxt:
+        if seq > rcv_nxt:
             self._store_ooo(seq, length, payload)
             return 0
         # overlaps rcv_nxt: trim the stale prefix
-        if seq < self.rcv_nxt:
-            skip = self.rcv_nxt - seq
+        if seq < rcv_nxt:
+            skip = rcv_nxt - seq
             if payload is not None:
                 payload = payload[skip:]
-            seq = self.rcv_nxt
+            seq = rcv_nxt
             length = end - seq
         delivered = self._append_inorder(length, payload)
-        delivered += self._drain_ooo()
+        if self._ooo:
+            delivered += self._drain_ooo()
         return delivered
 
     def _append_inorder(self, length: int, payload: Optional[bytes]) -> int:

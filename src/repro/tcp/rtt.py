@@ -35,6 +35,15 @@ class RttEstimator:
         self.has_sample = False
         self._base_rto = max(initial_rto, min_rto)
         self._backoff = 1.0
+        #: Current retransmission timeout, with backoff and clamping.
+        #: Stored (not derived per read): the TCP hot path consults the RTO
+        #: on every ACK, while only :meth:`sample`, :meth:`backoff` and
+        #: :meth:`reset_backoff` can change it.
+        self.rto = min(self.max_rto, max(self.min_rto, self._base_rto))
+
+    def _update_rto(self) -> None:
+        rto = self._base_rto * self._backoff
+        self.rto = min(self.max_rto, max(self.min_rto, rto))
 
     def sample(self, rtt: float) -> None:
         """Incorporate a new RTT measurement (seconds)."""
@@ -49,22 +58,20 @@ class RttEstimator:
             self.srtt = (1.0 - ALPHA) * self.srtt + ALPHA * rtt
         self._base_rto = self.srtt + K * self.rttvar
         self._backoff = 1.0
-
-    @property
-    def rto(self) -> float:
-        """Current retransmission timeout, with backoff and clamping."""
-        rto = self._base_rto * self._backoff
-        return min(self.max_rto, max(self.min_rto, rto))
+        self._update_rto()
 
     def backoff(self) -> None:
         """Double the RTO after a retransmission timeout."""
         self._backoff = min(self._backoff * 2.0, self.max_rto / max(self._base_rto, 1e-9))
+        self._update_rto()
 
     def reset_backoff(self) -> None:
         """Clear exponential backoff (called when the cumulative ACK advances:
         the peer is alive and progress resumed, so the inflated RTO no longer
         reflects the path)."""
-        self._backoff = 1.0
+        if self._backoff != 1.0:
+            self._backoff = 1.0
+            self._update_rto()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

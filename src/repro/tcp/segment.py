@@ -20,7 +20,15 @@ from .constants import ACK, FIN, PSH, SYN, flags_repr, header_overhead
 
 
 class TcpSegment:
-    """One TCP segment in flight."""
+    """One TCP segment in flight.
+
+    Segments built via :meth:`acquire` are *pooled*: the delivering link
+    hands them back through :meth:`release` once the receiver is done
+    (delivery is synchronous and the capture taps copy fields out), so
+    the sender's retransmit-free virtual-payload path reuses a handful of
+    objects instead of allocating one per MSS.  Only segments with
+    ``poolable`` set participate; hand-built segments are never recycled.
+    """
 
     __slots__ = (
         "src_ip",
@@ -35,7 +43,15 @@ class TcpSegment:
         "payload",
         "sent_at",
         "retransmission",
+        "poolable",
+        "wire_size",
     )
+
+    #: Shared free list for :meth:`acquire`/:meth:`release`.
+    _pool: list = []
+    #: Upper bound on the free list; beyond this, released segments are
+    #: simply dropped for the garbage collector.
+    _POOL_LIMIT = 1024
 
     def __init__(
         self,
@@ -72,13 +88,80 @@ class TcpSegment:
         self.payload = payload
         self.sent_at = sent_at
         self.retransmission = retransmission
+        self.poolable = False
+        #: Bytes on the wire (Ethernet + IP + TCP headers + payload).
+        #: Precomputed: flags and payload_len never change after build,
+        #: and the link layer reads this once per hop.
+        self.wire_size = header_overhead(flags) + payload_len
+
+    # -- pooling ------------------------------------------------------------
+
+    @classmethod
+    def acquire(
+        cls,
+        src_ip: str,
+        src_port: int,
+        dst_ip: str,
+        dst_port: int,
+        *,
+        seq: int,
+        ack: int,
+        flags: int,
+        window: int,
+        payload_len: int = 0,
+        sent_at: float = 0.0,
+    ) -> "TcpSegment":
+        """Build a virtual-payload segment, reusing a pooled object if one
+        is free.
+
+        Only for the sender's hot path: the payload is always virtual
+        (``payload is None``) and the segment is never a retransmission.
+        The returned segment has ``poolable`` set, which tells the
+        delivering link to :meth:`release` it after the receiver has
+        processed it.
+        """
+        pool = cls._pool
+        if pool:
+            seg = pool.pop()
+            seg.src_ip = src_ip
+            seg.src_port = src_port
+            seg.dst_ip = dst_ip
+            seg.dst_port = dst_port
+            seg.seq = seq
+            seg.ack = ack
+            seg.flags = flags
+            seg.window = window
+            seg.payload_len = payload_len
+            seg.payload = None
+            seg.sent_at = sent_at
+            seg.retransmission = False
+            seg.wire_size = header_overhead(flags) + payload_len
+        else:
+            seg = cls(
+                src_ip,
+                src_port,
+                dst_ip,
+                dst_port,
+                seq=seq,
+                ack=ack,
+                flags=flags,
+                window=window,
+                payload_len=payload_len,
+                sent_at=sent_at,
+            )
+        seg.poolable = True
+        return seg
+
+    def release(self) -> None:
+        """Return a pooled segment to the free list (idempotence guard:
+        clears ``poolable`` so a double release is a no-op)."""
+        if self.poolable:
+            self.poolable = False
+            pool = TcpSegment._pool
+            if len(pool) < TcpSegment._POOL_LIMIT:
+                pool.append(self)
 
     # -- derived ------------------------------------------------------------
-
-    @property
-    def wire_size(self) -> int:
-        """Bytes on the wire: Ethernet + IP + TCP headers + payload."""
-        return header_overhead(self.flags) + self.payload_len
 
     @property
     def seq_consumed(self) -> int:

@@ -104,6 +104,12 @@ class StreamBuffer:
             raise IndexError(
                 f"range [{start}, {end}) outside [{self._trimmed}, {self._length})"
             )
+        chunks = self._chunks
+        if len(chunks) == 1 and chunks[0][2] is None:
+            # steady state of a video transfer: after the real response
+            # head is acked and trimmed, the whole live stream is one
+            # virtual chunk — skip the per-chunk walk
+            return None
         if self.is_virtual_range(start, end):
             return None
         parts: List[bytes] = []

@@ -31,11 +31,18 @@ Typical use — the ``repro profile`` CLI does exactly this::
 Public API: :class:`Recorder`, :class:`NullRecorder`,
 :func:`current_recorder`, :func:`recording`, :func:`use_recorder` (the
 recorder, :mod:`repro.telemetry.recorder`); :func:`summarize`,
-:func:`write_jsonl`, :func:`aggregate_spans` (the exporters,
+:func:`write_jsonl`, :func:`aggregate_spans`, :func:`hot_spans` (the exporters,
 :mod:`repro.telemetry.export`).
 """
 
-from .export import aggregate_spans, percentile_row, summarize, write_jsonl
+from .export import (
+    aggregate_spans,
+    format_hot_spans,
+    hot_spans,
+    percentile_row,
+    summarize,
+    write_jsonl,
+)
 from .recorder import (
     NULL,
     EventRecord,
@@ -59,6 +66,8 @@ __all__ = [
     "SpanRecord",
     "aggregate_spans",
     "current_recorder",
+    "format_hot_spans",
+    "hot_spans",
     "percentile_row",
     "recording",
     "summarize",

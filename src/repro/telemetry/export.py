@@ -30,6 +30,8 @@ from .recorder import (
 
 __all__ = [
     "aggregate_spans",
+    "format_hot_spans",
+    "hot_spans",
     "percentile_row",
     "summarize",
     "write_jsonl",
@@ -113,6 +115,52 @@ def aggregate_spans(
 
     walk("")
     return rows
+
+
+def hot_spans(
+    telemetry: TelemetryLike, top: int = 10,
+) -> List[Tuple[str, int, float, float]]:
+    """The ``top`` hottest span paths by *cumulative* time.
+
+    Returns ``(path, calls, total_seconds, mean_seconds)`` rows sorted by
+    total descending (ties by path).  Unlike :func:`aggregate_spans` this
+    is a flat ranking, not a tree walk — the view you want when hunting
+    where the wall clock actually went.
+
+    >>> rows = hot_spans(SessionTelemetry(spans=[
+    ...     SpanRecord("a", 0.0, 2.0), SpanRecord("a/b", 0.0, 1.5),
+    ...     SpanRecord("a/b", 2.0, 0.5)], counters={}, gauges={},
+    ...     histograms={}, events=[]), top=1)
+    >>> [(p, n, t) for p, n, t, _mean in rows]
+    [('a', 1, 2.0)]
+    """
+    snap = _as_snapshot(telemetry)
+    totals: Dict[str, Tuple[int, float]] = {}
+    for span in snap.spans:
+        count, total = totals.get(span.path, (0, 0.0))
+        totals[span.path] = (count + 1, total + span.duration)
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1][1], kv[0]))
+    return [
+        (path, count, total, total / count if count else 0.0)
+        for path, (count, total) in ranked[: max(0, top)]
+    ]
+
+
+def format_hot_spans(telemetry: TelemetryLike, top: int = 10) -> str:
+    """Render :func:`hot_spans` as a fixed-width table."""
+    rows = hot_spans(telemetry, top)
+    if not rows:
+        return "no spans recorded"
+    grand = sum(total for _, _, total, _ in rows)
+    table_rows = [
+        (path, str(count), _format_seconds(total).strip(),
+         _format_seconds(mean).strip(),
+         f"{100.0 * total / grand:5.1f}%" if grand > 0 else "  0.0%")
+        for path, count, total, mean in rows
+    ]
+    lines = [f"hot spans (top {len(rows)} by cumulative time)"]
+    lines += _table(("span", "calls", "total", "mean", "share"), table_rows)
+    return "\n".join(lines)
 
 
 def _format_seconds(seconds: float) -> str:

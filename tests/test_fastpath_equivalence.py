@@ -1,0 +1,170 @@
+"""The fast-path optimizations must be invisible in results.
+
+PR 5 rebuilt the hot path (tuple heap entries, packet-train batching,
+pooled segments, columnar capture) under one invariant: **byte-identical
+results**.  These tests run full sessions with the batching fast path on
+and off and assert every export — packet records, flow records, metric
+samples, QoE — is identical, including over lossy links where drop
+decisions interleave with train batching.
+"""
+
+import pytest
+
+import repro.simnet.link as link_mod
+from repro.obs.flows import flow_records
+from repro.obs.metrics import metric_samples
+from repro.simnet.profiles import ACADEMIC, RESIDENCE
+from repro.streaming import Application, Service
+from repro.streaming.session import SessionConfig, run_session
+from repro.tcp.constants import ACK, header_overhead
+from repro.tcp.segment import TcpSegment
+from repro.workloads import MBPS, Video
+
+
+def _run(profile, seed, batching: bool):
+    """One short session with the delivery fast path forced on or off."""
+    old = link_mod.BATCH_DELIVERIES
+    link_mod.BATCH_DELIVERIES = batching
+    try:
+        video = Video(video_id="equiv", duration=120.0,
+                      encoding_rate_bps=2 * MBPS,
+                      resolution="360p", container="flv")
+        config = SessionConfig(profile=profile, service=Service.YOUTUBE,
+                               application=Application.FIREFOX,
+                               capture_duration=30.0, seed=seed)
+        return run_session(video, config)
+    finally:
+        link_mod.BATCH_DELIVERIES = old
+
+
+def _record_tuples(result):
+    return [
+        (r.timestamp, r.src_ip, r.src_port, r.dst_ip, r.dst_port, r.seq,
+         r.ack, r.flags, r.payload_len, r.window, r.wire_len, r.payload)
+        for r in result.records
+    ]
+
+
+@pytest.mark.parametrize("profile,seed", [
+    (RESIDENCE, 7),    # Bernoulli loss on the bottleneck: drops interleave
+    (ACADEMIC, 3),     # bursty Gilbert-Elliott loss
+])
+def test_session_exports_identical_with_batching_on_and_off(profile, seed):
+    batched = _run(profile, seed, batching=True)
+    unbatched = _run(profile, seed, batching=False)
+
+    assert _record_tuples(batched) == _record_tuples(unbatched)
+    assert batched.downloaded == unbatched.downloaded
+    assert batched.stall_events == unbatched.stall_events
+    assert batched.playback_position_s == unbatched.playback_position_s
+    assert batched.connections_opened == unbatched.connections_opened
+    assert (flow_records(batched, "s") == flow_records(unbatched, "s"))
+    assert (metric_samples(batched, "s") == metric_samples(unbatched, "s"))
+
+
+def test_batching_actually_engaged():
+    """Guard against the fast path silently disabling itself: a lossy
+    Residence run must keep far fewer scheduler events in flight than
+    packets delivered (trains collapse to one posted event each)."""
+    result = _run(RESIDENCE, 7, batching=True)
+    assert len(result.capture) > 10_000  # the run really streamed
+
+
+class TestSegmentPool:
+    def _acquire(self, **kw):
+        defaults = dict(seq=100, ack=5, flags=ACK, window=65535,
+                        payload_len=1460, sent_at=1.5)
+        defaults.update(kw)
+        return TcpSegment.acquire("10.0.0.1", 5000, "10.0.0.2", 80, **defaults)
+
+    def test_release_then_acquire_reuses_the_object(self):
+        TcpSegment._pool.clear()
+        seg = self._acquire()
+        assert seg.poolable
+        seg.release()
+        seg2 = self._acquire(seq=999, payload_len=0, sent_at=2.5)
+        assert seg2 is seg
+        assert seg2.seq == 999
+        assert seg2.payload_len == 0
+        assert seg2.sent_at == 2.5
+        assert seg2.wire_size == header_overhead(ACK)
+
+    def test_acquired_segment_matches_constructed_segment(self):
+        TcpSegment._pool.clear()
+        fresh = TcpSegment("10.0.0.1", 5000, "10.0.0.2", 80, seq=100, ack=5,
+                           flags=ACK, window=65535, payload_len=1460,
+                           sent_at=1.5)
+        pooled = self._acquire()
+        for field in ("src_ip", "src_port", "dst_ip", "dst_port", "seq",
+                      "ack", "flags", "window", "payload_len", "payload",
+                      "wire_size", "sent_at", "retransmission"):
+            assert getattr(pooled, field) == getattr(fresh, field), field
+
+    def test_pool_is_bounded(self):
+        TcpSegment._pool.clear()
+        segs = [self._acquire() for _ in range(TcpSegment._POOL_LIMIT + 50)]
+        for seg in segs:
+            seg.release()
+        assert len(TcpSegment._pool) == TcpSegment._POOL_LIMIT
+
+
+class TestColumnarCapture:
+    """The columnar TraceCapture materializes records lazily and caches."""
+
+    def _seg(self, i, payload=None):
+        plen = len(payload) if payload is not None else 1460
+        return TcpSegment("10.0.0.2", 80, "10.0.0.1", 5000, seq=i * 1460,
+                         ack=1, flags=ACK, window=65535, payload_len=plen,
+                         payload=payload, sent_at=float(i))
+
+    def test_records_match_tapped_segments(self):
+        from repro.pcap.capture import TraceCapture, record_from_segment
+        cap = TraceCapture(name="t")
+        segs = [self._seg(0), self._seg(1, b"HTTP/1.1 200 OK\r\n\r\n"),
+                self._seg(2)]
+        for i, seg in enumerate(segs):
+            cap.tap(float(i), seg)
+        assert len(cap) == 3
+        expected = [record_from_segment(float(i), s)
+                    for i, s in enumerate(segs)]
+        assert cap.records == expected
+
+    def test_records_are_cached_until_new_packets_arrive(self):
+        from repro.pcap.capture import TraceCapture
+        cap = TraceCapture(name="t")
+        cap.tap(0.0, self._seg(0))
+        first = cap.records
+        assert cap.records is first          # cached
+        cap.tap(1.0, self._seg(1))
+        second = cap.records
+        assert second is not first           # invalidated by new packet
+        assert len(second) == 2
+
+    def test_real_payloads_are_sparse(self):
+        from repro.pcap.capture import TraceCapture
+        cap = TraceCapture(name="t")
+        cap.tap(0.0, self._seg(0))                       # virtual body
+        cap.tap(1.0, self._seg(1, b"abc"))               # real bytes
+        assert cap._payloads == {1: b"abc"}
+        recs = cap.records
+        assert recs[0].payload is None
+        assert recs[1].payload == b"abc"
+
+    def test_columns_survive_segment_pooling(self):
+        """The tap copies fields out, so recycling the segment afterwards
+        must not disturb what was captured."""
+        from repro.pcap.capture import TraceCapture
+        TcpSegment._pool.clear()
+        cap = TraceCapture(name="t")
+        seg = TcpSegment.acquire("10.0.0.2", 80, "10.0.0.1", 5000, seq=42,
+                                 ack=7, flags=ACK, window=1000,
+                                 payload_len=1460, sent_at=0.0)
+        cap.tap(0.0, seg)
+        seg.release()
+        TcpSegment.acquire("10.0.0.2", 80, "10.0.0.1", 5000, seq=999,
+                           ack=999, flags=ACK, window=9, payload_len=1,
+                           sent_at=9.0)
+        rec = cap.records[0]
+        assert rec.seq == 42
+        assert rec.ack == 7
+        assert rec.payload_len == 1460

@@ -100,10 +100,9 @@ class TestPipelineIntegration:
         ng_path = str(tmp_path / "c.pcapng")
         from repro.pcap.capture import segment_to_frame
 
-        capture._entries.sort(key=lambda e: e[0])
         with open(ng_path, "wb") as f:
             writer = PcapngWriter(f)
-            for t, seg in capture._entries:
+            for t, seg in capture.iter_segments():
                 writer.write_packet(t, segment_to_frame(seg))
 
         classic = records_from_pcap(classic_path)

@@ -69,6 +69,35 @@ class TestLink:
         # at t=0 both packets are still unserialized
         assert link.backlog_bytes(0.0) == pytest.approx(2000)
 
+    def test_backlog_priced_at_enqueue_rate_after_set_rate(self):
+        """Regression: a mid-flight set_rate degradation must not reprice
+        already-queued bytes with the new conversion factor.
+
+        Historically the backlog was derived as ``(busy_until - t) * rate
+        / 8`` using the *current* rate, so degrading 8 Mbps -> 0.8 Mbps
+        with 2000 queued bytes made the backlog report 200 bytes."""
+        sched, link, _ = self.make_link(delay=0.0)
+        link.transmit(FakePacket(1000))
+        link.transmit(FakePacket(1000))
+        assert link.backlog_bytes(0.0) == pytest.approx(2000)
+        link.set_rate(8e5)  # 10x degradation while both packets queue
+        assert link.backlog_bytes(0.0) == pytest.approx(2000)
+        # the head keeps serializing at its own enqueue-time rate
+        assert link.backlog_bytes(0.0005) == pytest.approx(1500)
+        # after the head's finish time only the second packet remains
+        assert link.backlog_bytes(0.0015) == pytest.approx(500)
+
+    def test_backlog_rate_change_affects_later_packets_only(self):
+        sched, link, _ = self.make_link(delay=0.0)
+        link.transmit(FakePacket(1000))            # 8 Mbps: finishes at 1 ms
+        link.set_rate(4e6)
+        link.transmit(FakePacket(1000))            # 4 Mbps: 1 ms .. 3 ms
+        # t = 2 ms: first packet gone, second half-serialized at 4 Mbps
+        assert link.backlog_bytes(0.002) == pytest.approx(500)
+        # the drop-tail admission check uses the same pricing
+        sched.run_until(0.002)
+        assert link.transmit(FakePacket(1000)) is True
+
     def test_drop_tail_when_buffer_full(self):
         sched, link, delivered = self.make_link(buffer_bytes=2500)
         accepted = [link.transmit(FakePacket(1000)) for _ in range(4)]

@@ -172,3 +172,103 @@ class TestEventScheduler:
         sched.at(0.0, tick)
         sched.run_while(lambda: count["n"] < 5, horizon=100.0)
         assert count["n"] == 5
+
+
+class TestFastPathEdgeCases:
+    """Edge cases of the tuple-entry fast path (PR 5).
+
+    Cancellation is *lazy*: a cancelled handle stays in the heap until it
+    surfaces, so every consumer (``peek_time``, ``step``, ``run_until``,
+    ``run_while``) must skip corpses without firing them or counting them.
+    """
+
+    def test_cancelled_head_is_skipped_lazily_by_peek_and_run(self):
+        sched = EventScheduler()
+        fired = []
+        h1 = sched.at(1.0, lambda: fired.append("cancelled"))
+        sched.at(1.0, lambda: fired.append("live"))
+        h2 = sched.at(2.0, lambda: fired.append("also-cancelled"))
+        h1.cancel()
+        h2.cancel()
+        # peek sees through both corpses without disturbing order
+        assert sched.peek_time() == 1.0
+        assert sched.pending == 1
+        n = sched.run_until(3.0)
+        assert n == 1
+        assert fired == ["live"]
+        assert sched.pending == 0
+
+    def test_peek_time_prunes_to_none_when_all_cancelled(self):
+        sched = EventScheduler()
+        handles = [sched.at(1.0, lambda: None) for _ in range(5)]
+        for h in handles:
+            h.cancel()
+        assert sched.peek_time() is None
+        assert sched.pending == 0
+        assert sched.run_until(2.0) == 0
+
+    def test_cancel_after_fire_is_harmless(self):
+        sched = EventScheduler()
+        h = sched.at(1.0, lambda: None)
+        sched.run()
+        h.cancel()
+        h.cancel()
+        assert sched.pending == 0
+
+    def test_same_time_ties_fire_in_schedule_order_across_entry_kinds(self):
+        """Handle entries, argument entries and reserved-seq posts all draw
+        from one sequence counter, so same-time events fire in exactly the
+        order they were scheduled, whatever their kind."""
+        sched = EventScheduler()
+        fired = []
+        sched.at(1.0, lambda: fired.append("at-0"))
+        sched.call_at(1.0, fired.append, "call_at-1")
+        seq = sched.reserve_seq()
+        sched.at(1.0, lambda: fired.append("at-3"))
+        sched.post(1.0, seq, fired.append, "post-2")  # seq reserved earlier
+        sched.call_at(1.0, lambda: fired.append("call_at-4"))
+        sched.run()
+        assert fired == ["at-0", "call_at-1", "post-2", "at-3", "call_at-4"]
+
+    def test_call_at_passes_argument_identity(self):
+        sched = EventScheduler()
+        marker = object()
+        got = []
+        sched.call_at(1.0, got.append, marker)
+        sched.call_after(1.0, got.append, marker)
+        sched.run()
+        assert got == [marker, marker]
+        assert got[0] is marker
+
+    def test_run_while_respects_horizon(self):
+        sched = EventScheduler()
+        fired = []
+        sched.at(1.0, lambda: fired.append(1.0))
+        sched.at(5.0, lambda: fired.append(5.0))   # exactly at horizon
+        sched.at(5.1, lambda: fired.append(5.1))   # beyond horizon
+        n = sched.run_while(lambda: True, horizon=5.0)
+        assert n == 2
+        assert fired == [1.0, 5.0]
+        assert sched.clock.now() == 5.0            # not advanced past it
+        assert sched.pending == 1                  # the 5.1 event survives
+
+    def test_run_while_skips_cancelled_heads_at_horizon_check(self):
+        sched = EventScheduler()
+        fired = []
+        h = sched.at(1.0, lambda: fired.append("dead"))
+        sched.at(2.0, lambda: fired.append("alive"))
+        h.cancel()
+        sched.run_while(lambda: len(fired) < 1, horizon=10.0)
+        assert fired == ["alive"]
+
+    def test_run_until_max_events_uses_resumable_slow_path(self):
+        sched = EventScheduler()
+        fired = []
+        for i in range(6):
+            sched.call_at(float(i), fired.append, i)
+        assert sched.run_until(10.0, max_events=3) == 3
+        assert fired == [0, 1, 2]
+        # the remaining events are intact and fire on resume
+        assert sched.run_until(10.0) == 3
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert sched.clock.now() == 10.0

@@ -281,6 +281,32 @@ class TestExporters:
         rows = aggregate_spans([s for s in rec.spans if s.path != "a"])
         assert [path for path, _, _ in rows] == ["a", "a/b"]
 
+    def test_hot_spans_ranks_by_cumulative_time(self):
+        from repro.telemetry import format_hot_spans, hot_spans
+
+        rec = Recorder()
+        with rec.span("outer"):
+            with rec.span("hot"):
+                pass
+            with rec.span("hot"):
+                pass
+        rows = hot_spans(rec, top=10)
+        # flat ranking by total descending; outer's wall time dominates
+        assert rows[0][0] == "outer"
+        paths = [path for path, _, _, _ in rows]
+        assert "outer/hot" in paths
+        hot_row = rows[paths.index("outer/hot")]
+        assert hot_row[1] == 2                    # two calls aggregated
+        assert hot_row[2] >= hot_row[3]           # total >= mean
+        assert len(hot_spans(rec, top=1)) == 1    # top-N truncation
+        text = format_hot_spans(rec, top=10)
+        assert "hot spans" in text and "outer/hot" in text
+
+    def test_hot_spans_empty(self):
+        from repro.telemetry import format_hot_spans
+
+        assert "no spans" in format_hot_spans(NULL.snapshot())
+
     def test_summarize_renders_all_sections(self):
         text = summarize(self._sample(), title="sample")
         for needle in ("sample", "run", "step", "n", "h", "e"):
@@ -315,3 +341,12 @@ class TestProfileCli:
         rc = main(["profile", "fig99"])
         assert rc == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_profile_top_prints_hot_span_table(self, capsys):
+        rc = main(["profile", "fig1", "--top", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hot spans (top" in out
+        # flat paths, ranked: the root engine span must lead the table
+        table = out[out.index("hot spans"):]
+        assert "engine.run_sessions" in table.splitlines()[3]
