@@ -123,6 +123,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="FILE",
         help="export per-session metric time-series; format from the "
              "suffix (.jsonl, .csv, .prom/.txt)")
+    p_exp.add_argument(
+        "--failures", default=None, metavar="FILE",
+        help="export quarantined-unit failures (keys, errors, tracebacks) "
+             "in the format implied by the suffix")
+    p_exp.add_argument(
+        "--resume", action="store_true",
+        help="continue a previous campaign: reuse its journal (requires "
+             "--cache-dir) and re-simulate only incomplete units; exports "
+             "stay byte-identical to an uninterrupted run")
+    p_exp.add_argument(
+        "--max-attempts", type=int, default=1, metavar="N",
+        help="run each unit up to N times before quarantining it "
+             "(default 1 = fail fast; >1 enables worker supervision)")
+    p_exp.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECS",
+        help="per-unit wall-clock deadline; a worker exceeding it is "
+             "killed and the unit retried (enables worker supervision)")
+    p_exp.add_argument(
+        "--degrade", action="store_true",
+        help="complete the campaign even when units are quarantined, "
+             "reporting them instead of aborting (exit code 3)")
 
     p_prof = sub.add_parser(
         "profile",
@@ -189,10 +210,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --compare: print the diff but always exit 0")
 
     p_list = sub.add_parser(
-        "list", help="show experiments, applications, networks")
+        "list", help="show experiments, applications, networks, campaigns")
     p_list.add_argument(
         "--json", action="store_true",
         help="emit the experiment registry as JSON on stdout")
+    p_list.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="also summarize campaign journals under DIR "
+             "(default: $REPRO_CACHE_DIR if set)")
     return parser
 
 
@@ -327,12 +352,29 @@ def _resolve_cache(args):
     return ResultCache(os.path.expanduser(root))
 
 
+def _supervision_policy(args):
+    """The supervision policy the experiment flags ask for, or ``None``."""
+    from .runner import RetryBudget, SupervisionPolicy
+
+    if args.max_attempts <= 1 and args.unit_timeout is None \
+            and not args.degrade:
+        return None
+    return SupervisionPolicy(
+        unit_timeout=args.unit_timeout,
+        retry=RetryBudget(max_attempts=max(1, args.max_attempts)),
+        degrade=args.degrade,
+    )
+
+
 def _cmd_experiment(args) -> int:
     from .analysis import format_table
     from .experiments import REGISTRY, SCALES
     from .runner import (
         NULL_OBSERVER,
+        CampaignAborted,
+        CampaignJournal,
         CompositeRunObserver,
+        FailureReport,
         RunStats,
         engine_options,
     )
@@ -345,6 +387,11 @@ def _cmd_experiment(args) -> int:
               f"know {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
     cache = _resolve_cache(args)
+    if args.resume and cache is None:
+        print("--resume needs a result cache: pass --cache-dir or set "
+              "$REPRO_CACHE_DIR", file=sys.stderr)
+        return 2
+    supervision = _supervision_policy(args)
     # the observatory: progress + collection ride the engine observer
     # hook; with neither flag the observer stays NULL_OBSERVER and the
     # engine takes its zero-cost path
@@ -356,7 +403,7 @@ def _cmd_experiment(args) -> int:
 
         progress = ProgressReporter()
         observers.append(progress)
-    if args.flows or args.metrics:
+    if args.flows or args.metrics or args.failures:
         from .obs import CampaignCollector
 
         collector = CampaignCollector()
@@ -365,26 +412,82 @@ def _cmd_experiment(args) -> int:
                 else NULL_OBSERVER)
     summary = []
     reports = []
-    with engine_options(observer=observer):
-        for name in names:
-            spec = REGISTRY[name]
-            stats = RunStats()
-            started = time.perf_counter()
-            result = spec.run(scale, seed=args.seed, jobs=args.jobs,
-                              cache=cache, stats=stats)
-            elapsed = time.perf_counter() - started
-            if progress is not None:
-                # hold reports until the stderr status line is released
-                reports.append(result.report())
-            else:
-                print(result.report())
-                print()
-            summary.append((spec, elapsed, stats))
-    if progress is not None:
-        progress.close()
-        for report in reports:
-            print(report)
-            print()
+    aborted = False
+    try:
+        with engine_options(observer=observer, supervision=supervision):
+            for name in names:
+                spec = REGISTRY[name]
+                stats = RunStats()
+                failures = FailureReport()
+                journal = None
+                if cache is not None:
+                    # the write-ahead ledger: fresh unless resuming, so a
+                    # stale journal never misreports a new campaign
+                    journal = CampaignJournal.for_campaign(
+                        cache.root, name, scale.name, args.seed,
+                        fresh=not args.resume)
+                    if args.resume:
+                        counts = journal.counts()
+                        print(f"resume {name}: journal has "
+                              f"{counts['done']} done, "
+                              f"{counts['failed']} failed, "
+                              f"{counts['quarantined']} quarantined",
+                              file=sys.stderr)
+                started = time.perf_counter()
+                try:
+                    result = spec.run(scale, seed=args.seed, jobs=args.jobs,
+                                      cache=cache, stats=stats,
+                                      journal=journal, failures=failures)
+                except CampaignAborted as exc:
+                    aborted = True
+                    report = f"{name}: campaign aborted — {exc.report.format()}"
+                    if progress is not None:
+                        reports.append(report)
+                    else:
+                        print(report)
+                        print()
+                    elapsed = time.perf_counter() - started
+                    summary.append((spec, elapsed, stats))
+                    continue
+                except Exception:
+                    # --degrade hands FailedUnit placeholders to the
+                    # experiment; one whose analysis needs every unit will
+                    # crash on them — that is a degraded experiment, not a
+                    # bug, but only when units actually failed
+                    if (supervision is None or not supervision.degrade
+                            or failures.ok):
+                        raise
+                    report = (f"{name}: degraded — analysis needs the "
+                              f"missing units\n\n{failures.format()}")
+                    if progress is not None:
+                        reports.append(report)
+                    else:
+                        print(report)
+                        print()
+                    elapsed = time.perf_counter() - started
+                    summary.append((spec, elapsed, stats))
+                    continue
+                finally:
+                    if journal is not None:
+                        journal.close()
+                elapsed = time.perf_counter() - started
+                report = result.report()
+                if not failures.ok:
+                    report += "\n\n" + failures.format()
+                if progress is not None:
+                    # hold reports until the stderr status line is released
+                    reports.append(report)
+                else:
+                    print(report)
+                    print()
+                summary.append((spec, elapsed, stats))
+    finally:
+        # restore the terminal line even on Ctrl-C / CampaignAborted
+        if progress is not None:
+            progress.close()
+    for report in reports:
+        print(report)
+        print()
     if collector is not None:
         if args.flows:
             n = collector.write_flows(args.flows)
@@ -392,14 +495,25 @@ def _cmd_experiment(args) -> int:
         if args.metrics:
             n = collector.write_metrics(args.metrics)
             print(f"metrics written: {args.metrics} ({n} samples)")
+        if args.failures:
+            n = collector.write_failures(args.failures)
+            print(f"failures written: {args.failures} ({n} records)")
+    if args.resume or any(stats.retries or stats.failed
+                          for _, _, stats in summary):
+        for spec, _, stats in summary:
+            print(f"engine {spec.name}: {stats.sessions} units, "
+                  f"hits {stats.cache_hits}, re-simulated "
+                  f"{stats.cache_misses}, retries {stats.retries}, "
+                  f"failed {stats.failed}")
     if len(summary) > 1:
         rows = [
             (spec.name, spec.paper, f"{elapsed:.1f}", stats.sessions,
-             stats.cache_hits, stats.cache_misses)
+             stats.cache_hits, stats.cache_misses, stats.failed)
             for spec, elapsed, stats in summary
         ]
         print(format_table(
-            ["Experiment", "Paper", "Wall(s)", "Units", "Hits", "Misses"],
+            ["Experiment", "Paper", "Wall(s)", "Units", "Hits", "Misses",
+             "Failed"],
             rows,
             title=f"Campaign summary — scale={scale.name} jobs={args.jobs} "
                   f"cache={'on' if cache else 'off'}",
@@ -408,8 +522,13 @@ def _cmd_experiment(args) -> int:
         units = sum(stats.sessions for _, _, stats in summary)
         hits = sum(stats.cache_hits for _, _, stats in summary)
         misses = sum(stats.cache_misses for _, _, stats in summary)
-        print(f"total: {units} units (hits {hits}, misses {misses}) "
-              f"in {total_s:.1f}s")
+        failed = sum(stats.failed for _, _, stats in summary)
+        print(f"total: {units} units (hits {hits}, misses {misses}, "
+              f"failed {failed}) in {total_s:.1f}s")
+    if aborted:
+        return 1
+    if any(stats.failed for _, _, stats in summary):
+        return 3  # completed, but degraded: partial results
     return 0
 
 
@@ -496,19 +615,34 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _journal_summaries(args):
+    """Campaign-journal summaries under the requested cache dir, if any."""
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        return None
+    from .runner import list_journals
+
+    return list_journals(cache_dir)
+
+
 def _cmd_list(args) -> int:
     from .analysis import format_table
     from .experiments import REGISTRY
     from .simnet import PROFILES
 
+    journals = _journal_summaries(args)
     if args.json:
         import json
 
-        payload = [
+        experiments = [
             {"name": spec.name, "title": spec.title, "paper": spec.paper,
              "tags": list(spec.tags)}
             for spec in REGISTRY.values()
         ]
+        # plain registry list unless a cache dir brings journals into
+        # scope — the historical shape stays stable for existing callers
+        payload = (experiments if journals is None
+                   else {"experiments": experiments, "campaigns": journals})
         print(json.dumps(payload, indent=2))
         return 0
 
@@ -522,6 +656,21 @@ def _cmd_list(args) -> int:
     print("networks    :", ", ".join(PROFILES))
     print("applications:", ", ".join(_APPLICATIONS))
     print("containers  :", ", ".join(_CONTAINERS))
+    if journals is not None:
+        print()
+        if journals:
+            rows = [
+                (j["experiment"], j["scale"], j["seed"], j["done"],
+                 j["failed"], j["quarantined"])
+                for j in journals
+            ]
+            print(format_table(
+                ["Campaign", "Scale", "Seed", "Done", "Failed",
+                 "Quarantined"],
+                rows, title="Campaign journals",
+            ))
+        else:
+            print("campaign journals: none")
     return 0
 
 

@@ -70,14 +70,23 @@ class ExperimentSpec:
         jobs: Optional[int] = None,
         cache: CacheLike = None,
         stats: Optional[RunStats] = None,
+        supervision=None,
+        journal=None,
+        failures=None,
     ):
         """Run the experiment with engine options installed ambiently.
 
-        ``jobs``/``cache``/``stats`` default to ``None`` = inherit the
-        surrounding :func:`~repro.runner.engine_options` scope, so nested
-        callers (CLI around spec, test around CLI) compose.
+        All keywords default to ``None`` = inherit the surrounding
+        :func:`~repro.runner.engine_options` scope, so nested callers
+        (CLI around spec, test around CLI) compose.  ``supervision``,
+        ``journal`` and ``failures`` are the durability layer: a
+        :class:`~repro.runner.SupervisionPolicy`, a
+        :class:`~repro.runner.CampaignJournal` and a
+        :class:`~repro.runner.FailureReport` to accumulate into.
         """
-        with engine_options(jobs=jobs, cache=cache, stats=stats):
+        with engine_options(jobs=jobs, cache=cache, stats=stats,
+                            supervision=supervision, journal=journal,
+                            failures=failures):
             return self.module.run(scale, seed=seed)
 
 

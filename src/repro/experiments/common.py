@@ -21,20 +21,34 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..runner import RunStats, SessionPlan, engine_options, run_sessions, run_tasks
+from ..runner import (
+    CampaignJournal,
+    FailureReport,
+    RetryBudget,
+    RunStats,
+    SessionPlan,
+    SupervisionPolicy,
+    engine_options,
+    run_sessions,
+    run_tasks,
+)
 from ..simnet.rng import derive_seed
 from ..workloads.catalog import Catalog
 from ..workloads.video import Video
 
 __all__ = [
+    "CampaignJournal",
     "FULL",
+    "FailureReport",
     "MB",
     "MEDIUM",
+    "RetryBudget",
     "RunStats",
     "SCALES",
     "SMALL",
     "Scale",
     "SessionPlan",
+    "SupervisionPolicy",
     "engine_options",
     "pick_videos",
     "run_sessions",

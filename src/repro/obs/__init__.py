@@ -35,7 +35,7 @@ from .bench import (
     peak_rss_kb,
     run_suite,
 )
-from .collect import CampaignCollector
+from .collect import FAILURE_FIELDS, CampaignCollector
 from .exporters import (
     export_records,
     prometheus_lines,
@@ -51,6 +51,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "BenchWriter",
     "CampaignCollector",
+    "FAILURE_FIELDS",
     "FLOW_FIELDS",
     "METRIC_FIELDS",
     "ProgressReporter",

@@ -10,7 +10,11 @@ experiment, so ids, and therefore exports, are identical for any
 ``--jobs`` value and identical with telemetry recording on or off.
 
 Results coming back from ``run_tasks`` (Monte-Carlo batches, cohort
-aggregates) are not sessions and are ignored.
+aggregates) are not sessions and are ignored, as are the
+:class:`~repro.runner.FailedUnit` placeholders a degraded campaign
+leaves in quarantined slots — those are collected separately through
+the ``unit_failed`` hook and exported by :meth:`write_failures`, so a
+partial campaign's exports say exactly what is missing and why.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..runner.pool import NullRunObserver
+from ..runner.supervise import UnitFailure
 from ..streaming.session import SessionResult
 from .exporters import export_records
 from .flows import FLOW_FIELDS, flow_records
@@ -25,7 +30,20 @@ from .metrics import METRIC_FIELDS, metric_samples
 
 __all__ = [
     "CampaignCollector",
+    "FAILURE_FIELDS",
 ]
+
+#: Column order of a failure export (one record per quarantined unit).
+FAILURE_FIELDS = (
+    "unit",
+    "label",
+    "key",
+    "kind",
+    "error",
+    "attempts",
+    "final",
+    "traceback",
+)
 
 #: Flow-record fields emitted on the Prometheus rendering of a flow
 #: export (numeric/boolean fields only; the rest become labels).
@@ -59,13 +77,20 @@ class CampaignCollector(NullRunObserver):
 
     def __init__(self) -> None:
         self.sessions: List[Tuple[str, SessionResult]] = []
+        self.failures: List[UnitFailure] = []
 
     def batch_finished(self, values) -> None:
         """Adopt the batch's session results (plan order), skipping
-        non-session task values."""
+        non-session task values (and quarantined-unit placeholders)."""
         for value in values:
             if isinstance(value, SessionResult):
                 self.sessions.append((f"s{len(self.sessions):04d}", value))
+
+    def unit_failed(self, failure: UnitFailure) -> None:
+        """Adopt a quarantined unit's failure (retried attempts are the
+        progress reporter's business, not the campaign record's)."""
+        if failure.final:
+            self.failures.append(failure)
 
     # -- exports -------------------------------------------------------------
 
@@ -114,4 +139,17 @@ class CampaignCollector(NullRunObserver):
         return export_records(
             self.metric_samples(), path, fields=METRIC_FIELDS,
             label_keys=("session", "conn"),
+        )
+
+    def failure_records(self) -> List[Dict]:
+        """One flat record per quarantined unit, in failure order."""
+        return [failure.record() for failure in self.failures]
+
+    def write_failures(self, path) -> int:
+        """Export quarantined-unit failures (keys, errors, tracebacks,
+        attempt counts) in the format implied by ``path``'s suffix."""
+        return export_records(
+            self.failure_records(), path, fields=FAILURE_FIELDS,
+            value_key="attempts", metric_key="kind", timestamp_key=None,
+            label_keys=("label", "key"),
         )

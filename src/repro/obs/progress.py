@@ -14,6 +14,16 @@ layer's ``NullRecorder``.  The reporter only *observes* completions; it
 never changes what the engine computes, so enabling it cannot perturb
 results.
 
+Two terminal realities it respects:
+
+* **Non-TTY stderr** (CI logs, ``2> file``): the ``\\r`` dance would
+  smear one unreadable mega-line, so the reporter degrades to whole
+  plain lines emitted at most every ``plain_interval`` seconds.
+* **KeyboardInterrupt**: used as a context manager (``with reporter:``)
+  the in-place line is always released with a newline on the way out —
+  including the Ctrl-C path — so the traceback or shell prompt never
+  lands mid-line.
+
 The displayed total is the number of units *scheduled so far*: an
 experiment reveals its batches one ``run_sessions`` call at a time, so
 the total (and the ETA derived from it) grows as the campaign
@@ -40,19 +50,29 @@ class ProgressReporter(NullRunObserver):
 
     def __init__(self, stream: Optional[TextIO] = None,
                  min_interval: float = 0.1,
-                 label: str = "sessions") -> None:
+                 label: str = "sessions",
+                 plain_interval: float = 5.0) -> None:
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = min_interval
+        self.plain_interval = plain_interval
         self.label = label
         self.total = 0
         self.done = 0
         self.cache_hits = 0
         self.retries = 0
         self.faults = 0
+        self.failed = 0
         self._started = time.monotonic()
         self._last_render = 0.0
         self._width = 0
         self._closed = False
+        self._dirty = False
+        # \r rewriting only makes sense on a real terminal; everywhere
+        # else (CI logs, redirected stderr) emit occasional plain lines
+        try:
+            self._tty = bool(self.stream.isatty())
+        except (AttributeError, ValueError, OSError):
+            self._tty = False
 
     # -- observer callbacks --------------------------------------------------
 
@@ -61,12 +81,23 @@ class ProgressReporter(NullRunObserver):
         self.total += units
         self.done += cache_hits
         self.cache_hits += cache_hits
-        self._render(force=True)
+        self._render(force=self._tty)
 
     def unit_finished(self, value: Any) -> None:
         """One simulated unit completed."""
         self.done += 1
         self._render()
+
+    def unit_failed(self, failure) -> None:
+        """A supervised attempt failed: count the retry or the quarantine."""
+        if failure.final:
+            self.failed += 1
+            # a quarantined unit will never reach unit_finished; count it
+            # as settled so the line (and the ETA) can still converge
+            self.done += 1
+        else:
+            self.retries += 1
+        self._render(force=self._tty)
 
     def batch_finished(self, values: Sequence[Any]) -> None:
         """Fold the batch's fault/retry counters into the status line."""
@@ -75,7 +106,7 @@ class ProgressReporter(NullRunObserver):
             fault_log = getattr(value, "fault_log", None)
             if fault_log is not None:
                 self.faults += len(fault_log)
-        self._render(force=True)
+        self._render(force=self._tty)
 
     # -- rendering -----------------------------------------------------------
 
@@ -92,26 +123,52 @@ class ProgressReporter(NullRunObserver):
             parts.append(f"retries {self.retries}")
         if self.faults:
             parts.append(f"faults {self.faults}")
+        if self.failed:
+            parts.append(f"failed {self.failed}")
         return "  ".join(parts)
 
     def _render(self, force: bool = False) -> None:
         if self._closed:
             return
+        self._dirty = True
         now = time.monotonic()
-        if not force and now - self._last_render < self.min_interval:
+        interval = self.min_interval if self._tty else self.plain_interval
+        if not force and now - self._last_render < interval:
             return
+        self._emit(now)
+
+    def _emit(self, now: float) -> None:
         self._last_render = now
+        self._dirty = False
         line = self._line()
-        pad = " " * max(0, self._width - len(line))
-        self._width = len(line)
-        self.stream.write(f"\r{line}{pad}")
+        if self._tty:
+            pad = " " * max(0, self._width - len(line))
+            self._width = len(line)
+            self.stream.write(f"\r{line}{pad}")
+        else:
+            self.stream.write(line + "\n")
         self.stream.flush()
 
     def close(self) -> None:
-        """Print the final status and release the line (idempotent)."""
+        """Print the final status and release the line (idempotent).
+
+        Safe to call from a ``finally`` around an interrupted campaign:
+        the in-place line is completed and terminated with a newline so
+        whatever prints next starts on a fresh line.
+        """
         if self._closed:
             return
-        self._render(force=True)
+        if self._tty or self._dirty:
+            self._emit(time.monotonic())
         self._closed = True
-        self.stream.write("\n")
-        self.stream.flush()
+        if self._tty:
+            self.stream.write("\n")
+            self.stream.flush()
+
+    def __enter__(self) -> "ProgressReporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        # runs on success, exceptions, and KeyboardInterrupt alike —
+        # the terminal line must be restored before anything else prints
+        self.close()

@@ -23,6 +23,14 @@ Public API:
 * :class:`NullRunObserver`, :class:`CompositeRunObserver`,
   :data:`NULL_OBSERVER` — the engine's outward-facing observation hook;
   :mod:`repro.obs` builds progress reporting and exporters on top.
+* :class:`SupervisionPolicy`, :class:`RetryBudget`,
+  :class:`FailureReport`, :class:`CampaignAborted`, :class:`UnitFailure`,
+  :class:`FailedUnit` — the durability layer
+  (:mod:`repro.runner.supervise`): per-unit deadlines, retries with
+  backoff, and quarantine of poison units.
+* :class:`CampaignJournal`, :func:`campaign_fingerprint`,
+  :func:`list_journals` — the write-ahead campaign ledger behind
+  ``repro experiment --resume`` (:mod:`repro.runner.journal`).
 """
 
 from .cache import ResultCache
@@ -33,6 +41,7 @@ from .fingerprint import (
     plan_fingerprint,
     task_fingerprint,
 )
+from .journal import CampaignJournal, campaign_fingerprint, list_journals
 from .pool import (
     CacheLike,
     CompositeRunObserver,
@@ -46,23 +55,44 @@ from .pool import (
     run_sessions,
     run_tasks,
 )
+from .supervise import (
+    CampaignAborted,
+    ChaosError,
+    FailedUnit,
+    FailureReport,
+    RetryBudget,
+    SupervisionPolicy,
+    UnitFailure,
+    run_supervised,
+)
 
 __all__ = [
     "CacheLike",
+    "CampaignAborted",
+    "CampaignJournal",
+    "ChaosError",
     "CompositeRunObserver",
     "EngineOptions",
+    "FailedUnit",
+    "FailureReport",
     "NULL_OBSERVER",
     "NullRunObserver",
     "ResultCache",
+    "RetryBudget",
     "RunStats",
     "SessionPlan",
+    "SupervisionPolicy",
+    "UnitFailure",
+    "campaign_fingerprint",
     "canonical",
     "code_version",
     "current_options",
     "engine_options",
     "fingerprint",
+    "list_journals",
     "plan_fingerprint",
     "run_sessions",
+    "run_supervised",
     "run_tasks",
     "task_fingerprint",
 ]

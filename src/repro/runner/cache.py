@@ -7,8 +7,10 @@ wrong.  Writes go through a temporary file in the same directory followed
 by :func:`os.replace`, so concurrent writers (pool workers, parallel
 pytest sessions) at worst replace an entry with an identical one.
 
-Unreadable or truncated entries are treated as misses and removed; the
-cache is an accelerator, never a source of truth.
+Unreadable or truncated entries are treated as misses and quarantined to
+``<root>/corrupt/`` (suffix ``.bad``) for post-mortem instead of raising
+or silently vanishing; ``stats()`` counts them.  The cache is an
+accelerator, never a source of truth.
 """
 
 from __future__ import annotations
@@ -40,8 +42,19 @@ class ResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.pkl"))
 
+    def _corrupt_path(self, key: str) -> Path:
+        # .bad keeps quarantined files out of the */*.pkl globs that
+        # len()/stats()/clear() use to enumerate live entries
+        return self.root / "corrupt" / f"{key}.bad"
+
     def get(self, key: str) -> Optional[Any]:
-        """The cached value, or ``None`` on miss or unreadable entry."""
+        """The cached value, or ``None`` on miss or unreadable entry.
+
+        A truncated/corrupt entry (interrupted writer, version skew in a
+        pickled class) is treated as a miss: the file is moved to
+        ``<root>/corrupt/`` for post-mortem — never re-read, never
+        fatal — and counted by :meth:`stats`.
+        """
         path = self._path(key)
         with current_recorder().span("cache.get"):
             try:
@@ -50,12 +63,15 @@ class ResultCache:
             except FileNotFoundError:
                 return None
             except Exception:
-                # truncated/corrupt entry (interrupted writer, version skew
-                # in a pickled class): drop it and recompute
+                quarantine = self._corrupt_path(key)
                 try:
-                    path.unlink()
+                    quarantine.parent.mkdir(parents=True, exist_ok=True)
+                    os.replace(path, quarantine)
                 except OSError:
-                    pass
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
                 return None
 
     def put(self, key: str, value: Any) -> None:
@@ -79,7 +95,8 @@ class ResultCache:
                 rec.inc("cache.bytes_written", path.stat().st_size)
 
     def stats(self) -> dict:
-        """Entry count and total on-disk bytes (for bench/CLI reporting)."""
+        """Entry count, total on-disk bytes, and quarantined-corrupt count
+        (for bench/CLI reporting)."""
         entries = 0
         size = 0
         for path in self.root.glob("*/*.pkl"):
@@ -88,7 +105,8 @@ class ResultCache:
             except OSError:
                 continue
             entries += 1
-        return {"entries": entries, "bytes": size}
+        corrupt = sum(1 for _ in self.root.glob("corrupt/*.bad"))
+        return {"entries": entries, "bytes": size, "corrupt": corrupt}
 
     def clear(self) -> int:
         """Remove every entry; returns the number removed."""

@@ -1,0 +1,230 @@
+"""The campaign journal: a write-ahead ledger of unit outcomes.
+
+The content-addressed :class:`~repro.runner.cache.ResultCache` already
+makes completed work durable — what it cannot say is *how a campaign
+went*: which units finished, which failed transiently, which were
+quarantined as poison, and whether a run that stopped was complete or
+killed halfway.  The journal layers that bookkeeping on top:
+
+* one JSONL file per campaign, named by a campaign fingerprint that is
+  stable across code versions (so ``repro experiment --resume`` finds
+  it after a crash *and* after a fix to the code that crashed);
+* the first line is a metadata header (experiment, scale, seed); every
+  later line is ``{"key": ..., "status": "done"|"failed"|"quarantined",
+  "attempts": n, ...}`` appended and flushed as the engine settles each
+  unit, so a campaign killed at any instant loses at most the in-flight
+  units;
+* the loader is torn-line tolerant — a partial final line (the write
+  the kill interrupted) is skipped, never fatal — and last-status-wins,
+  so a unit that failed then succeeded reads as done.
+
+The journal never gates execution: results always come from the cache
+or a fresh simulation, so a stale or deleted journal can cost duplicate
+work but can never corrupt a result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .fingerprint import fingerprint
+
+__all__ = [
+    "CampaignJournal",
+    "JournalEntry",
+    "campaign_fingerprint",
+    "list_journals",
+]
+
+#: Subdirectory of a cache root where campaign journals live.
+JOURNAL_DIRNAME = "journal"
+
+
+def campaign_fingerprint(experiment: str, scale: str, seed: int) -> str:
+    """A stable identity for one campaign: (experiment, scale, seed).
+
+    Deliberately excludes ``code_version`` and ``jobs``: a resumed
+    campaign must find its journal after a code fix or with a different
+    worker count.  Unit *results* still refuse to cross code versions —
+    their cache keys embed ``code_version`` — so resuming across a code
+    change simply re-simulates everything, correctly.
+    """
+    return fingerprint("campaign", experiment, scale, seed)[:16]
+
+
+class JournalEntry:
+    """Latest known state of one unit (by cache key)."""
+
+    __slots__ = ("status", "attempts", "error")
+
+    def __init__(self, status: str, attempts: int = 0,
+                 error: Optional[str] = None) -> None:
+        self.status = status
+        self.attempts = attempts
+        self.error = error
+
+
+class CampaignJournal:
+    """Append-only JSONL ledger of unit outcomes for one campaign.
+
+    Usage::
+
+        journal = CampaignJournal.for_campaign(cache.root, "fig2",
+                                               "small", seed=0)
+        journal.done(key)                      # as each unit settles
+        journal.quarantined(key, "boom", 3)
+        journal.counts()                       # {"done": 41, ...}
+    """
+
+    def __init__(self, path, meta: Optional[dict] = None,
+                 fresh: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.entries: Dict[str, JournalEntry] = {}
+        self.meta: dict = {}
+        if fresh and self.path.exists():
+            self.path.unlink()
+        if self.path.exists():
+            self._load()
+        self._file = open(self.path, "a", encoding="utf-8")
+        # a killed writer can leave a torn, newline-less final line; left
+        # as-is the next append would glue onto it and corrupt *both*
+        # records, so terminate it now (the loader skips the fragment)
+        if self._file.tell() > 0:
+            with open(self.path, "rb") as f:
+                f.seek(-1, os.SEEK_END)
+                if f.read(1) != b"\n":
+                    self._file.write("\n")
+                    self._file.flush()
+        if not self.meta and meta is not None:
+            self.meta = dict(meta)
+            self._append({"meta": self.meta})
+
+    @classmethod
+    def for_campaign(cls, cache_root, experiment: str, scale: str,
+                     seed: int, *, fresh: bool = False) -> "CampaignJournal":
+        """The journal for one (experiment, scale, seed) campaign under a
+        cache root; ``fresh=True`` discards any previous ledger."""
+        fp = campaign_fingerprint(experiment, scale, seed)
+        path = (Path(cache_root) / JOURNAL_DIRNAME
+                / f"{experiment}-{fp}.jsonl")
+        meta = {"experiment": experiment, "scale": scale, "seed": seed}
+        return cls(path, meta=meta, fresh=fresh)
+
+    # -- persistence ---------------------------------------------------------
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn final line from a killed writer
+                if "meta" in record:
+                    self.meta = record["meta"]
+                    continue
+                key = record.get("key")
+                status = record.get("status")
+                if not key or not status:
+                    continue
+                self.entries[key] = JournalEntry(
+                    status, record.get("attempts", 0), record.get("error"))
+
+    def _append(self, record: dict) -> None:
+        self._file.write(json.dumps(record) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, key: str, status: str, attempts: int = 0,
+               error: Optional[str] = None) -> None:
+        """Append one outcome line and update the in-memory view."""
+        entry = self.entries.get(key)
+        if (entry is not None and entry.status == status
+                and entry.attempts == attempts):
+            return  # idempotent: cache hits of already-done units
+        self.entries[key] = JournalEntry(status, attempts, error)
+        record = {"key": key, "status": status}
+        if attempts:
+            record["attempts"] = attempts
+        if error:
+            record["error"] = error
+        self._append(record)
+
+    def done(self, key: str, attempts: int = 0) -> None:
+        """Mark one unit complete (its result is in the cache)."""
+        self.record(key, "done", attempts)
+
+    def failed(self, key: str, error: str, attempts: int) -> None:
+        """Mark one failed attempt (the unit may yet be retried)."""
+        self.record(key, "failed", attempts, error)
+
+    def quarantined(self, key: str, error: str, attempts: int) -> None:
+        """Mark one unit poisoned: retries exhausted, excluded from results."""
+        self.record(key, "quarantined", attempts, error)
+
+    # -- queries -------------------------------------------------------------
+
+    def status(self, key: str) -> Optional[str]:
+        """The unit's latest status, or ``None`` when never journaled."""
+        entry = self.entries.get(key)
+        return entry.status if entry is not None else None
+
+    def counts(self) -> Dict[str, int]:
+        """Units per terminal status: done / failed / quarantined."""
+        counts = {"done": 0, "failed": 0, "quarantined": 0}
+        for entry in self.entries.values():
+            counts[entry.status] = counts.get(entry.status, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def list_journals(cache_root) -> List[dict]:
+    """Summaries of every campaign journal under ``cache_root``.
+
+    Returns one dict per journal — metadata plus status counts and the
+    file's mtime — sorted by experiment name then path, for the
+    ``repro list`` campaign table.
+    """
+    root = Path(cache_root) / JOURNAL_DIRNAME
+    if not root.is_dir():
+        return []
+    summaries = []
+    for path in sorted(root.glob("*.jsonl")):
+        journal = CampaignJournal(path)
+        try:
+            counts = journal.counts()
+            summaries.append({
+                "path": str(path),
+                "experiment": journal.meta.get("experiment", path.stem),
+                "scale": journal.meta.get("scale", "?"),
+                "seed": journal.meta.get("seed", "?"),
+                "units": len(journal),
+                "done": counts["done"],
+                "failed": counts["failed"],
+                "quarantined": counts["quarantined"],
+                "updated": os.path.getmtime(path),
+            })
+        finally:
+            journal.close()
+    summaries.sort(key=lambda s: (s["experiment"], s["path"]))
+    return summaries

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import contextvars
 import multiprocessing
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -43,6 +44,17 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Uni
 from ..telemetry import NULL, NullRecorder, Recorder, SessionTelemetry, current_recorder, use_recorder
 from .cache import ResultCache
 from .fingerprint import plan_fingerprint, task_fingerprint
+from .journal import CampaignJournal
+from .supervise import (
+    CHAOS_ENV,
+    CampaignAborted,
+    FailureReport,
+    SupervisionPolicy,
+    UnitFailure,
+    chaos_hook,
+    chaos_mark_done,
+    run_supervised,
+)
 
 __all__ = [
     "CacheLike",
@@ -80,6 +92,10 @@ class NullRunObserver:
     def unit_finished(self, value: Any) -> None:
         """One simulated unit completed (cache misses only, completion order)."""
 
+    def unit_failed(self, failure: UnitFailure) -> None:
+        """A supervised unit's attempt failed; ``failure.final`` marks
+        the attempt that quarantined it (only fires under supervision)."""
+
     def batch_finished(self, values: Sequence[Any]) -> None:
         """A batch returned; ``values`` holds every result in plan order."""
 
@@ -108,6 +124,11 @@ class CompositeRunObserver(NullRunObserver):
         for observer in self.observers:
             if observer.enabled:
                 observer.unit_finished(value)
+
+    def unit_failed(self, failure: UnitFailure) -> None:
+        for observer in self.observers:
+            if observer.enabled:
+                observer.unit_failed(failure)
 
     def batch_finished(self, values: Sequence[Any]) -> None:
         for observer in self.observers:
@@ -138,6 +159,8 @@ class RunStats:
     sessions: int = 0        # units requested (sessions + coarse tasks)
     cache_hits: int = 0
     cache_misses: int = 0    # units actually simulated
+    retries: int = 0         # failed attempts that were re-run (supervision)
+    failed: int = 0          # units quarantined after exhausting retries
 
     def add(self, requested: int, hits: int) -> None:
         self.sessions += requested
@@ -147,12 +170,25 @@ class RunStats:
 
 @dataclass
 class EngineOptions:
-    """Ambient engine configuration (see :func:`engine_options`)."""
+    """Ambient engine configuration (see :func:`engine_options`).
+
+    ``supervision``/``journal``/``failures`` form the durability layer:
+    a :class:`~repro.runner.supervise.SupervisionPolicy` routes cache
+    misses through supervised worker processes (deadlines, retries,
+    quarantine), a :class:`~repro.runner.journal.CampaignJournal`
+    receives a write-ahead record as each unit settles, and a
+    :class:`~repro.runner.supervise.FailureReport` accumulates whatever
+    was quarantined.  All three default to off/None — the engine then
+    behaves exactly as it always has.
+    """
 
     jobs: int = 1
     cache: Optional[ResultCache] = None
     stats: Optional[RunStats] = None
     observer: NullRunObserver = NULL_OBSERVER
+    supervision: Optional[SupervisionPolicy] = None
+    journal: Optional[CampaignJournal] = None
+    failures: Optional[FailureReport] = None
 
 
 _OPTIONS: contextvars.ContextVar[EngineOptions] = contextvars.ContextVar(
@@ -176,7 +212,10 @@ def current_options() -> EngineOptions:
 @contextmanager
 def engine_options(jobs: Optional[int] = None, cache: CacheLike = None,
                    stats: Optional[RunStats] = None,
-                   observer: Optional[NullRunObserver] = None):
+                   observer: Optional[NullRunObserver] = None,
+                   supervision: Optional[SupervisionPolicy] = None,
+                   journal: Optional[CampaignJournal] = None,
+                   failures: Optional[FailureReport] = None):
     """Override the ambient engine options within a ``with`` block.
 
     ``None`` keeps the surrounding value, so nested scopes compose: a
@@ -189,6 +228,9 @@ def engine_options(jobs: Optional[int] = None, cache: CacheLike = None,
         cache=base.cache if cache is None else _as_cache(cache),
         stats=base.stats if stats is None else stats,
         observer=base.observer if observer is None else observer,
+        supervision=base.supervision if supervision is None else supervision,
+        journal=base.journal if journal is None else journal,
+        failures=base.failures if failures is None else failures,
     )
     token = _OPTIONS.set(options)
     try:
@@ -207,13 +249,22 @@ def _call_plan(payload: Tuple[SessionPlan, bool]):
     plan, record = payload
     from ..streaming import run_session
 
+    # chaos hooks ($REPRO_CHAOS): deterministic fault injection for the
+    # durability tests and the chaos-smoke CI job; one dict lookup when off
+    chaos = CHAOS_ENV in os.environ
+    if chaos:
+        chaos_hook(plan.key)
     if record:
         # run_session sees an enabled ambient recorder and attaches its
         # per-session snapshot to the result, which travels back to the
         # parent through the ordinary pickle round-trip.
         with use_recorder(Recorder()):
-            return run_session(plan.video, plan.config)
-    return run_session(plan.video, plan.config)
+            result = run_session(plan.video, plan.config)
+    else:
+        result = run_session(plan.video, plan.config)
+    if chaos:
+        chaos_mark_done(plan.key)
+    return result
 
 
 @dataclass
@@ -247,8 +298,17 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _indexed_call(payload: Tuple[int, Callable[[Any], Any], Any]):
+    """Pool shim tagging each result with its input index, so the parent
+    can persist results in *completion* order and still reassemble the
+    plan-ordered list."""
+    index, worker, item = payload
+    return index, worker(item)
+
+
 def _execute(worker: Callable[[Any], Any], items: Sequence[Any],
-             jobs: int, observer: NullRunObserver = NULL_OBSERVER) -> List[Any]:
+             jobs: int, observer: NullRunObserver = NULL_OBSERVER,
+             on_unit: Optional[Callable[[int, Any], None]] = None) -> List[Any]:
     """Run ``worker`` over ``items``, preserving input order.
 
     ``jobs=1`` (the default everywhere) runs inline — no pool, no pickle
@@ -256,13 +316,21 @@ def _execute(worker: Callable[[Any], Any], items: Sequence[Any],
     The parallel path calls the *same* worker function on the same
     arguments; results only travel through a pickle round-trip, which is
     lossless for session results, so outputs are identical bytewise.
+
+    ``on_unit(index, result)`` is the durability hook: it fires as each
+    unit completes (completion order in the parallel path), letting the
+    caller persist results incrementally so a killed campaign keeps what
+    it already computed.
     """
     if jobs <= 1 or len(items) <= 1:
-        if observer.enabled:
+        if observer.enabled or on_unit is not None:
             results = []
-            for item in items:
+            for index, item in enumerate(items):
                 result = worker(item)
-                observer.unit_finished(result)
+                if on_unit is not None:
+                    on_unit(index, result)
+                if observer.enabled:
+                    observer.unit_finished(result)
                 results.append(result)
             return results
         return [worker(item) for item in items]
@@ -276,13 +344,19 @@ def _execute(worker: Callable[[Any], Any], items: Sequence[Any],
         # chunksize=1: sessions vary widely in cost (a 16-cell Table 1
         # batch mixes 30 s bulk transfers with 180 s Netflix sessions),
         # so fine-grained dispatch keeps the stragglers from serializing
-        if observer.enabled:
-            # imap yields input-order results as they complete, letting a
-            # progress reporter tick without changing the returned list.
-            results = []
-            for result in pool.imap(worker, items, chunksize=1):
-                observer.unit_finished(result)
-                results.append(result)
+        if observer.enabled or on_unit is not None:
+            # imap_unordered yields completion-order results, so a
+            # straggler never delays persisting the units that finished
+            # after it; the index tag restores plan order.
+            results: List[Any] = [None] * len(items)
+            indexed = [(i, worker, item) for i, item in enumerate(items)]
+            for index, result in pool.imap_unordered(_indexed_call, indexed,
+                                                     chunksize=1):
+                if on_unit is not None:
+                    on_unit(index, result)
+                if observer.enabled:
+                    observer.unit_finished(result)
+                results[index] = result
             return results
         return pool.map(worker, items, chunksize=1)
 
@@ -292,7 +366,19 @@ def _run_cached(worker: Callable[[Any], Any], items: Sequence[Any],
                 cache: Optional[ResultCache],
                 stats: Optional[RunStats],
                 rec: NullRecorder = NULL,
-                observer: NullRunObserver = NULL_OBSERVER) -> List[Any]:
+                observer: NullRunObserver = NULL_OBSERVER,
+                supervision: Optional[SupervisionPolicy] = None,
+                journal: Optional[CampaignJournal] = None,
+                failures: Optional[FailureReport] = None,
+                describe: Optional[Callable[[int], str]] = None) -> List[Any]:
+    """Cache-lookup, execute, persist: the engine's one batch pipeline.
+
+    Every unit that completes is persisted (cache + journal) *as it
+    completes*, not after the batch — a campaign killed mid-batch keeps
+    everything already simulated.  With a ``supervision`` policy, cache
+    misses run under :func:`~repro.runner.supervise.run_supervised`
+    (deadlines, retries, quarantine) instead of the plain pool.
+    """
     results: List[Any] = [None] * len(items)
     pending = list(range(len(items)))
     if cache is not None and keys is not None:
@@ -303,24 +389,102 @@ def _run_cached(worker: Callable[[Any], Any], items: Sequence[Any],
                 pending.append(i)
             else:
                 results[i] = hit
+                if journal is not None:
+                    journal.done(key)  # idempotent replay on resume
     if observer.enabled:
         observer.batch_started(len(items), len(items) - len(pending))
     if rec.enabled:
         rec.inc("engine.units", len(items))
         rec.inc("engine.cache_hits", len(items) - len(pending))
         rec.inc("engine.cache_misses", len(pending))
-        with rec.span("engine.execute"):
-            computed = _execute(worker, [items[i] for i in pending], jobs,
-                                observer)
-    else:
-        computed = _execute(worker, [items[i] for i in pending], jobs,
-                            observer)
-    for i, result in zip(pending, computed):
+
+    def persist(local_index: int, result: Any) -> None:
+        i = pending[local_index]
         results[i] = result
-        if cache is not None and keys is not None:
-            cache.put(keys[i], result)
+        if keys is not None:
+            if cache is not None:
+                cache.put(keys[i], result)
+            if journal is not None:
+                journal.done(keys[i])
+
+    pending_items = [items[i] for i in pending]
+    if supervision is None:
+        # incremental persistence only matters when there is somewhere
+        # durable to persist to; otherwise keep the plain fast path
+        on_unit = (persist if keys is not None
+                   and (cache is not None or journal is not None) else None)
+        if rec.enabled:
+            with rec.span("engine.execute"):
+                computed = _execute(worker, pending_items, jobs, observer,
+                                    on_unit)
+        else:
+            computed = _execute(worker, pending_items, jobs, observer,
+                                on_unit)
+        for i, result in zip(pending, computed):
+            results[i] = result
+            if on_unit is None and cache is not None and keys is not None:
+                cache.put(keys[i], result)
+        if stats is not None:
+            stats.add(len(items), len(items) - len(pending))
+        return results
+
+    # -- supervised path ------------------------------------------------------
+    describe_local = ((lambda li: describe(pending[li]))
+                      if describe is not None else None)
+    keys_local = [keys[i] for i in pending] if keys is not None else None
+
+    def on_done(local_index: int, value: Any) -> None:
+        persist(local_index, value)
+        if observer.enabled:
+            observer.unit_finished(value)
+
+    def on_failure(failure: UnitFailure) -> None:
+        # remap the supervisor's batch-local index to the plan index
+        failure.index = pending[failure.index]
+        if journal is not None and failure.key is not None:
+            if failure.final:
+                journal.quarantined(failure.key, failure.error,
+                                    failure.attempts)
+            else:
+                journal.failed(failure.key, failure.error, failure.attempts)
+        if failure.final and failures is not None:
+            failures.add(failure)
+        if observer.enabled:
+            observer.unit_failed(failure)
+
+    def run() -> Tuple[List[Any], List[UnitFailure], int]:
+        return run_supervised(
+            worker, pending_items, jobs=jobs, policy=supervision,
+            describe=describe_local, keys=keys_local,
+            on_done=on_done, on_failure=on_failure)
+
+    if rec.enabled:
+        with rec.span("engine.execute"):
+            computed, quarantined, retries = run()
+    else:
+        computed, quarantined, retries = run()
+    for i, result in zip(pending, computed):
+        results[i] = result  # FailedUnit placeholders land here too
     if stats is not None:
         stats.add(len(items), len(items) - len(pending))
+        stats.retries += retries
+        stats.failed += len(quarantined)
+    if failures is not None:
+        failures.retries += retries
+    if rec.enabled:
+        rec.inc("engine.retries", retries)
+        rec.inc("engine.quarantined", len(quarantined))
+    if quarantined and not supervision.degrade:
+        # the ambient report (when installed) already holds the batch's
+        # quarantines via on_failure; raise with it so callers see one
+        # accumulated account, not a per-batch fragment
+        report = failures
+        if report is None:
+            report = FailureReport()
+            report.retries = retries
+            for failure in quarantined:
+                report.add(failure)
+        raise CampaignAborted(report)
     return results
 
 
@@ -343,7 +507,7 @@ def run_sessions(plans: Iterable[PlanLike], *, jobs: Optional[int] = None,
     normalized = [p if isinstance(p, SessionPlan) else SessionPlan(*p)
                   for p in plans]
     keys = None
-    if cache is not None:
+    if cache is not None or options.journal is not None:
         # The cache key is (video, config, code version) only — whether
         # telemetry is recording never changes what a session computes,
         # so it must not change where its result lives.
@@ -351,16 +515,29 @@ def run_sessions(plans: Iterable[PlanLike], *, jobs: Optional[int] = None,
     rec = current_recorder()
     observer = options.observer
     payloads = [(plan, rec.enabled) for plan in normalized]
+
+    def describe(i: int) -> str:
+        plan = normalized[i]
+        video = getattr(plan.video, "video_id", None) or "session"
+        seed = getattr(plan.config, "seed", "?")
+        return f"{video} seed={seed}"
+
     if not rec.enabled:
         results = _run_cached(_call_plan, payloads, keys, jobs, cache,
-                              stats, observer=observer)
+                              stats, observer=observer,
+                              supervision=options.supervision,
+                              journal=options.journal,
+                              failures=options.failures, describe=describe)
         if observer.enabled:
             observer.batch_finished(results)
         return results
     with rec.span("engine.run_sessions"):
         rec.gauge("engine.jobs", jobs)
         results = _run_cached(_call_plan, payloads, keys, jobs, cache,
-                              stats, rec, observer)
+                              stats, rec, observer,
+                              supervision=options.supervision,
+                              journal=options.journal,
+                              failures=options.failures, describe=describe)
         # Merge per-session telemetry in *plan order* — the results list
         # is already plan-ordered, so merged counters and event logs are
         # identical for any worker count.  Cache hits replay whatever
@@ -391,13 +568,24 @@ def run_tasks(fn: Callable[..., Any], argslist: Iterable[tuple], *,
     observer = options.observer
     items = [(fn, tuple(args), rec.enabled) for args in argslist]
     keys = None
-    if cache is not None:
+    if cache is not None or options.journal is not None:
         # Keyed on (function, args, code version); the record flag is
         # deliberately excluded, like everything telemetry-related.
         keys = [task_fingerprint(fn, args) for _fn, args, _record in items]
+
+    def describe(i: int) -> str:
+        _fn, args, _record = items[i]
+        rendered = repr(args)
+        if len(rendered) > 60:
+            rendered = rendered[:57] + "..."
+        return f"{fn.__name__}{rendered}"
+
     if not rec.enabled:
         results = _run_cached(_call_task, items, keys, jobs, cache, stats,
-                              observer=observer)
+                              observer=observer,
+                              supervision=options.supervision,
+                              journal=options.journal,
+                              failures=options.failures, describe=describe)
         unwrapped = [r.value if isinstance(r, _TaskEnvelope) else r
                      for r in results]
         if observer.enabled:
@@ -406,7 +594,10 @@ def run_tasks(fn: Callable[..., Any], argslist: Iterable[tuple], *,
     with rec.span("engine.run_tasks"):
         rec.gauge("engine.jobs", jobs)
         results = _run_cached(_call_task, items, keys, jobs, cache,
-                              stats, rec, observer)
+                              stats, rec, observer,
+                              supervision=options.supervision,
+                              journal=options.journal,
+                              failures=options.failures, describe=describe)
         unwrapped: List[Any] = []
         for result in results:
             if isinstance(result, _TaskEnvelope):

@@ -1,0 +1,500 @@
+"""Worker supervision: deadlines, retries with backoff, and quarantine.
+
+The plain engine path (:func:`repro.runner.pool._execute`) assumes a
+perfect world: every unit returns, no worker hangs, no process dies.
+Long campaigns break that assumption — a single stuck session or a
+worker OOM-killed by the OS used to stall or abort the whole run.  This
+module is the engine's fault boundary:
+
+* every unit runs in a *supervised worker process* with a wall-clock
+  deadline; a worker that exceeds it is killed and respawned;
+* a unit whose worker crashed, hung, or raised is retried with
+  exponential backoff under a :class:`RetryBudget`;
+* a unit that keeps failing (``max_attempts`` exhausted, or the
+  campaign-wide retry budget drained) is **quarantined** — recorded as a
+  :class:`UnitFailure` and replaced by a :class:`FailedUnit` placeholder
+  instead of aborting the campaign;
+* everything that went wrong comes back as a :class:`FailureReport`
+  (unit keys, exception tracebacks, retry counts) so partial results
+  degrade *loudly*, never silently.
+
+Supervision is opt-in (``EngineOptions.supervision``); without a policy
+the engine keeps its zero-overhead inline/pool paths and its exact
+historical semantics (first exception propagates).
+
+The module also hosts the chaos hooks (``$REPRO_CHAOS``) used by the
+chaos-smoke CI job and the durability tests to inject worker crashes,
+poison units, and campaign kills deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CampaignAborted",
+    "ChaosError",
+    "FailedUnit",
+    "FailureReport",
+    "RetryBudget",
+    "SupervisionPolicy",
+    "UnitFailure",
+    "run_supervised",
+]
+
+
+@dataclass(frozen=True)
+class RetryBudget:
+    """How hard to try before declaring a unit poisoned.
+
+    ``max_attempts`` bounds per-unit attempts (1 = no retry); ``total``
+    optionally bounds *retries across the whole campaign* so a sweep of
+    correlated failures cannot multiply the runtime unboundedly.  The
+    delay before attempt ``n+1`` is ``min(cap, base * 2**(n-1))``
+    seconds — exponential backoff, deterministic (no jitter), and
+    ``base=0`` disables waiting entirely (the test default).
+    """
+
+    max_attempts: int = 3
+    total: Optional[int] = None
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retrying after failed attempt ``attempt``."""
+        if self.backoff_base <= 0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Ambient fault-tolerance configuration for the engine.
+
+    ``unit_timeout`` is the per-unit wall-clock deadline in seconds
+    (``None`` = no deadline); ``retry`` governs attempts and backoff;
+    ``degrade`` chooses what happens when quarantined units remain at
+    the end of a batch: ``True`` returns :class:`FailedUnit`
+    placeholders in their result slots, ``False`` (the default) raises
+    :class:`CampaignAborted` *after* the batch finishes — completed
+    units are already persisted, so a resumed campaign never repeats
+    them.
+    """
+
+    unit_timeout: Optional[float] = None
+    retry: RetryBudget = field(default_factory=RetryBudget)
+    degrade: bool = False
+    poll_interval: float = 0.05
+
+
+@dataclass
+class UnitFailure:
+    """One unit's terminal (or transient) failure, fully attributed."""
+
+    index: int                 # position in the batch (plan order)
+    label: str                 # human-readable unit description
+    key: Optional[str]         # cache fingerprint, when the batch has one
+    kind: str                  # "exception" | "crash" | "timeout"
+    error: str                 # repr of the exception / crash description
+    traceback: str = ""        # worker-side traceback, when one exists
+    attempts: int = 1          # attempts consumed so far
+    final: bool = False        # True once the unit is quarantined
+
+    def record(self) -> dict:
+        """The failure as a flat export record (see ``FAILURE_FIELDS``)."""
+        return {
+            "unit": self.index,
+            "label": self.label,
+            "key": self.key,
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+            "final": self.final,
+            "traceback": self.traceback,
+        }
+
+
+@dataclass(frozen=True)
+class FailedUnit:
+    """Placeholder occupying a quarantined unit's result slot.
+
+    Only appears under ``SupervisionPolicy(degrade=True)``; consumers
+    that tolerate partial campaigns filter these out (the campaign
+    collector does), consumers that cannot will fail loudly on the
+    placeholder instead of silently computing over missing sessions.
+    """
+
+    failure: UnitFailure
+
+
+class FailureReport:
+    """Everything that went wrong in a campaign, in plan order.
+
+    Accumulated ambiently (``EngineOptions.failures``) across every
+    batch an experiment runs, surfaced by the CLI as a table and by the
+    campaign collector as an export.  ``ok`` is ``True`` when the
+    campaign lost nothing.
+    """
+
+    def __init__(self) -> None:
+        self.failures: List[UnitFailure] = []
+        self.retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no unit was quarantined."""
+        return not self.failures
+
+    def add(self, failure: UnitFailure) -> None:
+        """Record one quarantined unit."""
+        self.failures.append(failure)
+
+    def records(self) -> List[dict]:
+        """Flat export records, one per quarantined unit."""
+        return [f.record() for f in self.failures]
+
+    def format(self) -> str:
+        """A human-readable failure table for the CLI."""
+        if self.ok:
+            return "no failures"
+        lines = [f"{len(self.failures)} unit(s) quarantined "
+                 f"({self.retries} retries spent):"]
+        for f in self.failures:
+            key = f" key={f.key[:12]}" if f.key else ""
+            lines.append(f"  [{f.kind}] {f.label}{key} "
+                         f"after {f.attempts} attempt(s): {f.error}")
+        return "\n".join(lines)
+
+
+class CampaignAborted(RuntimeError):
+    """A batch finished with quarantined units and ``degrade`` is off.
+
+    Raised *after* the batch completes, with every completed unit
+    already persisted to the cache/journal — ``repro experiment
+    --resume`` (or simply rerunning against the same cache) re-simulates
+    only what is missing.  ``report`` carries the full
+    :class:`FailureReport`.
+    """
+
+    def __init__(self, report: FailureReport) -> None:
+        super().__init__(report.format())
+        self.report = report
+
+
+# -- chaos hooks --------------------------------------------------------------
+# Deterministic fault injection for the chaos-smoke CI job and the
+# durability tests.  $REPRO_CHAOS selects a mode:
+#
+#   crash[:rate]      selected units hard-kill their worker (os._exit)
+#                     on the first attempt; a marker file in
+#                     $REPRO_CHAOS_DIR makes the retry succeed
+#   poison[:rate]     selected units raise ChaosError on every attempt,
+#                     driving the quarantine path
+#   kill-after:<n>    the whole process exits (code 130, like SIGINT)
+#                     once n units have completed — simulates a campaign
+#                     killed mid-run, for resume testing
+#
+# Units are selected by hashing their cache key, so the same units
+# misbehave on every run and under any --jobs value.
+
+CHAOS_ENV = "REPRO_CHAOS"
+CHAOS_DIR_ENV = "REPRO_CHAOS_DIR"
+
+#: Process exit code used by crash-mode chaos (mimics SIGKILL's 128+9).
+CHAOS_CRASH_EXIT = 137
+#: Process exit code used by kill-after chaos (mimics SIGINT's 128+2).
+CHAOS_KILL_EXIT = 130
+
+
+class ChaosError(RuntimeError):
+    """The failure injected by poison-mode chaos."""
+
+
+def _chaos_selected(key: str, rate: float) -> bool:
+    digest = hashlib.sha256(f"chaos:{key}".encode()).digest()
+    return digest[0] / 256.0 < rate
+
+
+def _chaos_dir() -> Optional[str]:
+    root = os.environ.get(CHAOS_DIR_ENV)
+    if root:
+        os.makedirs(root, exist_ok=True)
+    return root
+
+
+def chaos_hook(key: str) -> None:
+    """Entry-side chaos: maybe crash or poison the unit ``key``.
+
+    Called by the engine's worker functions before simulating, only when
+    ``$REPRO_CHAOS`` is set (the env check lives at the call site so the
+    common path costs one dict lookup).
+    """
+    spec = os.environ.get(CHAOS_ENV, "")
+    mode, _, arg = spec.partition(":")
+    if mode == "crash":
+        rate = float(arg) if arg else 0.5
+        root = _chaos_dir()
+        if root is None or not _chaos_selected(key, rate):
+            return
+        marker = os.path.join(root, f"{key}.crashed")
+        if not os.path.exists(marker):
+            with open(marker, "w"):
+                pass
+            os._exit(CHAOS_CRASH_EXIT)
+    elif mode == "poison":
+        rate = float(arg) if arg else 0.5
+        if _chaos_selected(key, rate):
+            raise ChaosError(f"poison unit {key[:12]}")
+    elif mode == "kill-after":
+        threshold = int(arg)
+        root = _chaos_dir()
+        if root is not None:
+            done = sum(1 for name in os.listdir(root)
+                       if name.endswith(".done"))
+            if done >= threshold:
+                os._exit(CHAOS_KILL_EXIT)
+
+
+def chaos_mark_done(key: str) -> None:
+    """Exit-side chaos bookkeeping: count a completed unit for kill-after."""
+    if not os.environ.get(CHAOS_ENV, "").startswith("kill-after"):
+        return
+    root = _chaos_dir()
+    if root is not None:
+        with open(os.path.join(root, f"{key}.done"), "w"):
+            pass
+
+
+# -- the supervisor -----------------------------------------------------------
+
+def _supervised_worker_main(worker: Callable[[Any], Any], inbox, outbox) -> None:
+    """Loop of one supervised worker process: run units until told to stop.
+
+    Results and exceptions both travel back through ``outbox``; an
+    abrupt death (crash, kill, chaos) is detected by the supervisor
+    through the process exit code instead.
+    """
+    while True:
+        message = inbox.get()
+        if message is None:
+            return
+        index, item = message
+        try:
+            value = worker(item)
+        except BaseException as exc:  # noqa: BLE001 — attribute, don't die
+            outbox.put((index, "err", f"{type(exc).__name__}: {exc}",
+                        traceback.format_exc()))
+        else:
+            try:
+                outbox.put((index, "ok", value))
+            except Exception as exc:  # unpicklable result
+                outbox.put((index, "err",
+                            f"result not picklable: {exc!r}",
+                            traceback.format_exc()))
+
+
+class _Worker:
+    """Supervisor-side handle for one worker process.
+
+    Each worker owns a private result pipe: a process killed mid-write
+    can only corrupt *its own* queue, which the supervisor discards when
+    it respawns the worker — a shared queue would poison the whole
+    batch.
+    """
+
+    def __init__(self, context, target) -> None:
+        self.inbox = context.SimpleQueue()
+        self.outbox = context.SimpleQueue()
+        self.process = context.Process(
+            target=_supervised_worker_main,
+            args=(target, self.inbox, self.outbox), daemon=True)
+        self.process.start()
+        self.unit: Optional[int] = None      # batch index being run
+        self.started_at: float = 0.0
+
+    @property
+    def idle(self) -> bool:
+        return self.unit is None
+
+    def assign(self, index: int, item: Any) -> None:
+        self.unit = index
+        self.started_at = time.monotonic()
+        self.inbox.put((index, item))
+
+    def dead(self) -> bool:
+        return self.process.exitcode is not None
+
+    def kill(self) -> None:
+        """Terminate the process, escalating to SIGKILL if it lingers."""
+        self.process.terminate()
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=1.0)
+
+    def stop(self) -> None:
+        """Ask the process to exit cleanly; kill it if it does not."""
+        if self.dead():
+            return
+        try:
+            self.inbox.put(None)
+        except Exception:
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.kill()
+
+
+def run_supervised(
+    worker: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    jobs: int,
+    policy: SupervisionPolicy,
+    describe: Optional[Callable[[int], str]] = None,
+    keys: Optional[Sequence[Optional[str]]] = None,
+    on_done: Optional[Callable[[int, Any], None]] = None,
+    on_failure: Optional[Callable[[UnitFailure], None]] = None,
+) -> Tuple[List[Any], List[UnitFailure], int]:
+    """Run ``worker`` over ``items`` under supervision.
+
+    Returns ``(results, quarantined, retries)``: results in input order
+    with :class:`FailedUnit` placeholders for quarantined units, the
+    final :class:`UnitFailure` list (empty on a clean run), and the
+    number of retries spent.  ``on_done(index, value)`` fires in
+    *completion order* as units finish (the persistence hook);
+    ``on_failure(failure)`` fires on every failed attempt, with
+    ``failure.final`` set on the quarantining one.
+
+    Unlike the plain pool, every unit — even under ``jobs=1`` — runs in
+    a child process, which is what makes crash containment and deadline
+    kills possible at all.
+    """
+    from .pool import _pool_context  # late: avoid import cycle
+
+    total = len(items)
+    results: List[Any] = [None] * total
+    if total == 0:
+        return results, [], 0
+    describe = describe or (lambda i: f"unit {i}")
+    context = _pool_context()
+    budget = policy.retry
+    retries_left = budget.total if budget.total is not None else None
+
+    attempts = [0] * total
+    done = [False] * total
+    quarantined: List[UnitFailure] = []
+    retries_spent = 0
+    # (eligible_at, index): units waiting for a free worker / backoff
+    ready: List[Tuple[float, int]] = [(0.0, i) for i in range(total)]
+    workers = [_Worker(context, worker)
+               for _ in range(max(1, min(jobs, total)))]
+
+    def _quarantine(failure: UnitFailure) -> None:
+        failure.final = True
+        quarantined.append(failure)
+        results[failure.index] = FailedUnit(failure)
+        done[failure.index] = True
+        if on_failure is not None:
+            on_failure(failure)
+
+    def _failed_attempt(index: int, kind: str, error: str, tb: str) -> None:
+        nonlocal retries_spent, retries_left
+        attempts[index] += 1
+        failure = UnitFailure(
+            index=index, label=describe(index),
+            key=keys[index] if keys is not None else None,
+            kind=kind, error=error, traceback=tb,
+            attempts=attempts[index])
+        out_of_budget = retries_left is not None and retries_left <= 0
+        if attempts[index] >= budget.max_attempts or out_of_budget:
+            _quarantine(failure)
+            return
+        if on_failure is not None:
+            on_failure(failure)
+        retries_spent += 1
+        if retries_left is not None:
+            retries_left -= 1
+        eligible = time.monotonic() + budget.delay(attempts[index])
+        ready.append((eligible, index))
+
+    def _respawn(slot: int) -> None:
+        workers[slot] = _Worker(context, worker)
+
+    def _settle(slot: int, kind: str, error: str) -> None:
+        """A worker crashed or blew its deadline: respawn, charge the unit."""
+        index = workers[slot].unit
+        _respawn(slot)
+        if index is not None and not done[index]:
+            _failed_attempt(index, kind, error, "")
+
+    try:
+        while not all(done):
+            now = time.monotonic()
+            progressed = False
+            # hand eligible units to idle, living workers
+            ready.sort()
+            for worker_handle in workers:
+                if not worker_handle.idle or worker_handle.dead():
+                    continue
+                while ready and done[ready[0][1]]:
+                    ready.pop(0)  # settled while waiting (stale entry)
+                if not ready or ready[0][0] > now:
+                    break
+                _, index = ready.pop(0)
+                worker_handle.assign(index, items[index])
+                progressed = True
+            # drain completions, worker by worker
+            for slot, worker_handle in enumerate(workers):
+                if worker_handle.unit is None:
+                    if worker_handle.dead():
+                        _respawn(slot)  # died idle (start failure)
+                    continue
+                try:
+                    while not worker_handle.outbox.empty():
+                        index, status, *payload = worker_handle.outbox.get()
+                        progressed = True
+                        if worker_handle.unit == index:
+                            worker_handle.unit = None
+                        if done[index]:
+                            continue  # stale duplicate
+                        if status == "ok":
+                            done[index] = True
+                            results[index] = payload[0]
+                            if on_done is not None:
+                                on_done(index, payload[0])
+                        else:
+                            _failed_attempt(index, "exception", *payload)
+                except Exception as exc:
+                    # partial pickle from a dying writer: the pipe is
+                    # unusable — treat as a crash of the running unit
+                    progressed = True
+                    worker_handle.kill()
+                    _settle(slot, "crash", f"result pipe corrupted: {exc!r}")
+                    continue
+                # supervise: abrupt death and blown deadlines
+                if worker_handle.unit is None:
+                    continue
+                if worker_handle.dead():
+                    progressed = True
+                    code = worker_handle.process.exitcode
+                    _settle(slot, "crash",
+                            f"worker died with exit code {code}")
+                elif (policy.unit_timeout is not None
+                      and now - worker_handle.started_at
+                      > policy.unit_timeout):
+                    progressed = True
+                    worker_handle.kill()
+                    _settle(slot, "timeout",
+                            f"deadline exceeded ({policy.unit_timeout:.1f}s)")
+            if not progressed and not all(done):
+                time.sleep(policy.poll_interval)
+    finally:
+        for worker_handle in workers:
+            worker_handle.stop()
+    return results, quarantined, retries_spent

@@ -25,6 +25,37 @@ class TestList:
             assert set(entry) == {"name", "title", "paper", "tags"}
             assert isinstance(entry["tags"], list)
 
+    def test_list_with_cache_dir_shows_campaign_journals(self, capsys,
+                                                         tmp_path):
+        from repro.runner import CampaignJournal
+
+        with CampaignJournal.for_campaign(tmp_path, "fig2", "small", 1) as j:
+            j.done("aa" + "0" * 38)
+            j.quarantined("bb" + "0" * 38, "boom", 3)
+        assert main(["list", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign journals" in out
+        assert "fig2" in out
+        assert "Quarantined" in out
+
+    def test_list_with_empty_cache_dir_says_none(self, capsys, tmp_path):
+        assert main(["list", "--cache-dir", str(tmp_path)]) == 0
+        assert "campaign journals: none" in capsys.readouterr().out
+
+    def test_list_json_with_cache_dir_adds_campaigns(self, capsys,
+                                                     tmp_path):
+        import json
+
+        from repro.runner import CampaignJournal
+
+        with CampaignJournal.for_campaign(tmp_path, "fig3", "small", 0) as j:
+            j.done("aa" + "0" * 38)
+        assert main(["list", "--json", "--cache-dir", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"experiments", "campaigns"}
+        assert payload["campaigns"][0]["experiment"] == "fig3"
+        assert payload["campaigns"][0]["done"] == 1
+
 
 class TestStream:
     def test_flash_session(self, capsys):

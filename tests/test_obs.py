@@ -285,9 +285,16 @@ class TestObserverHook:
         assert seen[-1] == ("finished", 1)
 
 
+class _FakeTty(io.StringIO):
+    """A StringIO that claims to be a terminal, for \\r-rewrite tests."""
+
+    def isatty(self):
+        return True
+
+
 class TestProgressReporter:
     def test_renders_single_line_with_rate_and_cache(self):
-        stream = io.StringIO()
+        stream = _FakeTty()
         reporter = ProgressReporter(stream=stream, min_interval=0.0)
         reporter.batch_started(4, 1)
         reporter.unit_finished(object())
@@ -304,7 +311,7 @@ class TestProgressReporter:
             retry_count = 2
             fault_log = [1, 2, 3]
 
-        stream = io.StringIO()
+        stream = _FakeTty()
         reporter = ProgressReporter(stream=stream, min_interval=0.0)
         reporter.batch_started(1, 0)
         reporter.batch_finished([FakeResult()])
@@ -314,13 +321,67 @@ class TestProgressReporter:
         assert "faults 3" in line
 
     def test_close_is_idempotent(self):
-        stream = io.StringIO()
+        stream = _FakeTty()
         reporter = ProgressReporter(stream=stream)
         reporter.close()
         once = stream.getvalue()
         reporter.close()
         assert stream.getvalue() == once
         assert once.count("\n") == 1
+
+    def test_non_tty_emits_plain_lines_not_rewrites(self):
+        stream = io.StringIO()  # isatty() is False
+        reporter = ProgressReporter(stream=stream, min_interval=0.0,
+                                    plain_interval=0.0)
+        reporter.batch_started(2, 0)
+        reporter.unit_finished(object())
+        reporter.unit_finished(object())
+        reporter.close()
+        out = stream.getvalue()
+        assert "\r" not in out
+        lines = [l for l in out.splitlines() if l]
+        assert lines, "plain mode must still report progress"
+        assert lines[-1].startswith("sessions 2/2")
+
+    def test_non_tty_throttles_to_plain_interval(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, min_interval=0.0,
+                                    plain_interval=3600.0)
+        reporter.batch_started(10, 0)
+        for _ in range(10):
+            reporter.unit_finished(object())
+        reporter.close()
+        out = stream.getvalue()
+        # one initial line, plus the final flush of pending progress
+        assert 1 <= out.count("\n") <= 2
+        assert out.splitlines()[-1].startswith("sessions 10/10")
+
+    def test_unit_failed_counts_retry_then_quarantine(self):
+        class Attempt:
+            def __init__(self, final):
+                self.final = final
+
+        stream = _FakeTty()
+        reporter = ProgressReporter(stream=stream, min_interval=0.0)
+        reporter.batch_started(2, 0)
+        reporter.unit_failed(Attempt(final=False))
+        reporter.unit_failed(Attempt(final=True))
+        reporter.unit_finished(object())
+        reporter.close()
+        line = stream.getvalue().rstrip("\n").rsplit("\r", 1)[-1]
+        assert "retries 1" in line
+        assert "failed 1" in line
+        # the quarantined unit counts as settled: 1 finished + 1 failed
+        assert line.strip().startswith("sessions 2/2")
+
+    def test_context_manager_releases_line_on_interrupt(self):
+        stream = _FakeTty()
+        with pytest.raises(KeyboardInterrupt):
+            with ProgressReporter(stream=stream, min_interval=0.0) as rep:
+                rep.batch_started(5, 0)
+                rep.unit_finished(object())
+                raise KeyboardInterrupt
+        assert stream.getvalue().endswith("\n")
 
 
 class TestCli:
@@ -347,5 +408,7 @@ class TestCli:
                      "--progress"])
         assert code == 0
         captured = capsys.readouterr()
-        assert "\r" in captured.err
-        assert "\r" not in captured.out
+        # captured stderr is not a TTY: plain lines, never \r rewrites
+        assert "\r" not in captured.err
+        assert "sessions" in captured.err
+        assert "sessions" not in captured.out

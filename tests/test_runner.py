@@ -123,6 +123,28 @@ class TestResultCache:
         assert cache.get(key) is None
         assert not path.exists()
 
+    def test_corrupt_entry_is_quarantined_and_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" + "0" * 38
+        cache.put(key, {"x": 1})
+        cache._path(key).write_bytes(b"\x80truncated garbage")
+        assert cache.get(key) is None
+        # moved to <root>/corrupt/<key>.bad for post-mortem, out of the
+        # live-entry globs, and surfaced through stats()
+        quarantined = tmp_path / "corrupt" / f"{key}.bad"
+        assert quarantined.exists()
+        assert quarantined.read_bytes() == b"\x80truncated garbage"
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["corrupt"] == 1
+        assert stats["entries"] == 0
+        # a fresh put makes the key live again; the quarantine stays
+        cache.put(key, {"x": 2})
+        assert cache.get(key) == {"x": 2}
+        assert cache.stats() == {"entries": 1,
+                                 "bytes": cache._path(key).stat().st_size,
+                                 "corrupt": 1}
+
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
         for i in range(3):
