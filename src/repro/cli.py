@@ -30,6 +30,13 @@ The ``experiment`` command doubles as the campaign observatory:
 ``--progress`` keeps a live status line on stderr, and ``--flows`` /
 ``--metrics`` export per-session flow records and metric time-series
 (format chosen by file suffix: ``.jsonl``, ``.csv``, ``.prom``).
+
+It also scales: ``--sessions M --shards N`` re-dimensions a
+sharding-aware campaign (``model_validation``) to M total sessions split
+into N supervised shards with streaming reduction — memory stays
+O(shards) up to 10^6 sessions, shard artifacts cache under
+``--cache-dir`` so a re-run re-simulates zero shards, and
+``--aggregate FILE`` exports the merged campaign statistics.
 """
 
 from __future__ import annotations
@@ -111,6 +118,21 @@ def _build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--no-cache", action="store_true",
         help="disable the result cache even if $REPRO_CACHE_DIR is set")
+    p_exp.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split the campaign into N deterministic shards run through "
+             "the supervised pool with streaming reduction (memory stays "
+             "O(shards); shard artifacts cache under --cache-dir)")
+    p_exp.add_argument(
+        "--sessions", type=int, default=None, metavar="M",
+        help="re-dimension the campaign to M total sessions (sharding-"
+             "aware experiments only, e.g. model_validation; implies "
+             "--shards 1 unless given)")
+    p_exp.add_argument(
+        "--aggregate", default=None, metavar="FILE",
+        help="export the campaign's merged aggregate statistics (moments "
+             "and percentiles per metric); format from the suffix "
+             "(.jsonl, .csv, .prom/.txt)")
     p_exp.add_argument(
         "--progress", action="store_true",
         help="live single-line progress on stderr (done/total, rate, ETA, "
@@ -392,6 +414,11 @@ def _cmd_experiment(args) -> int:
               "$REPRO_CACHE_DIR", file=sys.stderr)
         return 2
     supervision = _supervision_policy(args)
+    sharding = None
+    if args.shards is not None or args.sessions is not None:
+        from .runner import Sharding
+
+        sharding = Sharding(shards=args.shards or 1, sessions=args.sessions)
     # the observatory: progress + collection ride the engine observer
     # hook; with neither flag the observer stays NULL_OBSERVER and the
     # engine takes its zero-cost path
@@ -403,9 +430,12 @@ def _cmd_experiment(args) -> int:
 
         progress = ProgressReporter()
         observers.append(progress)
-    if args.flows or args.metrics or args.failures:
+    if args.flows or args.metrics or args.failures or args.aggregate:
         from .obs import CampaignCollector
 
+        # retaining mode costs nothing on a sharded campaign: sessions
+        # stay inside the shard workers, the parent only sees (and
+        # merges) shard snapshots — which is all --aggregate needs
         collector = CampaignCollector()
         observers.append(collector)
     observer = (CompositeRunObserver(*observers) if observers
@@ -437,7 +467,8 @@ def _cmd_experiment(args) -> int:
                 try:
                     result = spec.run(scale, seed=args.seed, jobs=args.jobs,
                                       cache=cache, stats=stats,
-                                      journal=journal, failures=failures)
+                                      journal=journal, failures=failures,
+                                      sharding=sharding)
                 except CampaignAborted as exc:
                     aborted = True
                     report = f"{name}: campaign aborted — {exc.report.format()}"
@@ -498,8 +529,14 @@ def _cmd_experiment(args) -> int:
         if args.failures:
             n = collector.write_failures(args.failures)
             print(f"failures written: {args.failures} ({n} records)")
-    if args.resume or any(stats.retries or stats.failed
-                          for _, _, stats in summary):
+        if args.aggregate:
+            n = collector.write_aggregate(args.aggregate)
+            print(f"aggregate written: {args.aggregate} ({n} records)")
+    # sharded campaigns always show the engine line — shard cache hits
+    # are the observable proof a re-run re-simulated nothing
+    if sharding is not None or args.resume \
+            or any(stats.retries or stats.failed
+                   for _, _, stats in summary):
         for spec, _, stats in summary:
             print(f"engine {spec.name}: {stats.sessions} units, "
                   f"hits {stats.cache_hits}, re-simulated "

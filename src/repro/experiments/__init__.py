@@ -12,14 +12,10 @@ completeness tests all derive from it.
     >>> spec = get_experiment("table1")
     >>> result = spec.run(jobs=4, cache="~/.cache/repro/sessions")
     >>> print(result.report())
-
-``ALL_EXPERIMENTS`` (name -> module) survives as a deprecated alias for
-pre-registry callers and warns on use.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from types import ModuleType
 from typing import Dict, Iterator, Optional, Tuple
@@ -73,6 +69,7 @@ class ExperimentSpec:
         supervision=None,
         journal=None,
         failures=None,
+        sharding=None,
     ):
         """Run the experiment with engine options installed ambiently.
 
@@ -83,10 +80,13 @@ class ExperimentSpec:
         :class:`~repro.runner.SupervisionPolicy`, a
         :class:`~repro.runner.CampaignJournal` and a
         :class:`~repro.runner.FailureReport` to accumulate into.
+        ``sharding`` is a :class:`~repro.runner.Sharding` policy;
+        sharding-aware experiments (``model_validation``) scale their
+        campaign to it, others ignore it.
         """
         with engine_options(jobs=jobs, cache=cache, stats=stats,
                             supervision=supervision, journal=journal,
-                            failures=failures):
+                            failures=failures, sharding=sharding):
             return self.module.run(scale, seed=seed)
 
 
@@ -154,38 +154,9 @@ def iter_experiments() -> Iterator[ExperimentSpec]:
     return iter(REGISTRY.values())
 
 
-class _DeprecatedModuleDict(dict):
-    """``ALL_EXPERIMENTS``: name -> module, warning on every access."""
-
-    def _warn(self) -> None:
-        warnings.warn(
-            "ALL_EXPERIMENTS is deprecated; use repro.experiments.REGISTRY "
-            "(ExperimentSpec objects) or get_experiment(name)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def __getitem__(self, key):
-        self._warn()
-        return super().__getitem__(key)
-
-    def __iter__(self):
-        self._warn()
-        return super().__iter__()
-
-    def __contains__(self, key):
-        self._warn()
-        return super().__contains__(key)
-
-
-ALL_EXPERIMENTS = _DeprecatedModuleDict(
-    (spec.name, spec.module) for spec in REGISTRY.values()
-)
-
 __all__ = [
     "ExperimentSpec",
     "REGISTRY",
-    "ALL_EXPERIMENTS",
     "get_experiment",
     "iter_experiments",
     "Scale",

@@ -10,13 +10,23 @@ Three parts:
 3. **Wasted bandwidth** (Eqs (8)-(9)): Monte-Carlo waste versus the
    closed form, and the (B', k) sweep behind the paper's recommendation
    to shrink buffering and accumulation for interruption-heavy workloads.
+
+The moment validation is sharding-aware: when the ambient engine options
+carry a :class:`~repro.runner.Sharding` policy (``repro experiment
+model_validation --sessions 1000000 --shards 64``), the Poisson horizon
+implied by the session target splits into per-strategy horizon shards,
+each simulated independently through the supervised shard engine and
+reduced to mergeable :class:`~repro.model.AggregateMoments` — so the
+model is validated against *campaign-scale* populations (10^4..10^6
+sessions) in O(shards) memory, with shard-level caching and resume.
+Without a policy the original single-run path executes unchanged.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 from ..analysis import format_table
 from ..model import (
@@ -30,10 +40,12 @@ from ..model import (
     plan_for,
     short_onoff_strategy,
     simulate_aggregate,
+    simulate_aggregate_moments,
     simulate_wasted_bandwidth,
     waste_sweep,
     wasted_bandwidth_exact,
 )
+from ..runner import ShardResult, ShardSpec, current_options, run_shards
 from ..workloads import EmpiricalInterruptionModel, make_youflash
 from .common import SMALL, Scale, run_tasks
 
@@ -61,6 +73,54 @@ def _moment_sample(catalog, lam: float, horizon: float, name: str,
     return sample.mean_bps, sample.variance_bps2
 
 
+def _moment_shard(catalog, lam: float, horizon: float, name: str,
+                  peak: float, seed: int):
+    """Shard worker: one independent Monte-Carlo run over one horizon
+    chunk, reduced to mergeable moments (never the grid itself)."""
+    return simulate_aggregate_moments(
+        catalog, lam, horizon=horizon, strategy=_strategy_factory(name),
+        peak_bps=peak, seed=seed)
+
+
+def _sharded_moments(catalog, lam: float, peak: float, scale: Scale,
+                     seed: int, policy) -> Dict[str, object]:
+    """One merged :class:`~repro.model.AggregateMoments` per strategy.
+
+    The campaign's session target (``policy.sessions``, defaulting to
+    the scale's horizon at rate ``lam``) becomes a Poisson horizon of
+    ``sessions / lam`` seconds, split into ``policy.shards`` chunks.
+    Each chunk runs at full arrival rate with its own derived seed and
+    its own warmup, so every shard contributes steady-state samples;
+    shard seeds depend only on the campaign seed and shard index — not
+    on the strategy — preserving the unsharded path's common-random-
+    numbers comparison across strategies, and not on the shard *count*,
+    so a re-dimensioned campaign (same per-shard horizon, more shards)
+    reuses its cached shard artifacts.
+    """
+    sessions = policy.sessions or max(1, int(lam * scale.mc_horizon))
+    shard_horizon = (sessions / lam) / policy.shards
+    expected = max(1, round(lam * shard_horizon))
+    units = []
+    for name in STRATEGY_NAMES:
+        for index in range(policy.shards):
+            spec = ShardSpec(campaign=f"model_validation:{name}",
+                             scale=scale.name, seed=seed, index=index,
+                             of=policy.shards, units=expected)
+            units.append((spec, (catalog, lam, shard_horizon, name, peak,
+                                 seed + 1 + index)))
+    results = run_shards(_moment_shard, units)
+    merged: Dict[str, object] = {}
+    for (spec, _args), result in zip(units, results):
+        if not isinstance(result, ShardResult):
+            continue  # quarantined shard under a degraded campaign
+        name = spec.campaign.split(":", 1)[1]
+        if name in merged:
+            merged[name].merge(result.value)
+        else:
+            merged[name] = result.value
+    return merged
+
+
 def _waste_sample(catalog, lam: float, horizon: float,
                   buffering_playback_s: float, accumulation_ratio: float,
                   seed: int) -> float:
@@ -80,6 +140,7 @@ class MomentRow:
     model_mean: float
     empirical_var: float
     model_var: float
+    sessions: int = 0  # simulated arrivals behind the empirical moments
 
     @property
     def mean_error(self) -> float:
@@ -98,6 +159,10 @@ class ModelValidationResult:
     waste_closed_bps: float
     sweep_rows: List
     migration_smoothness_ratio: float
+    shards: int = 0          # 0 = unsharded single-run path
+    campaign_sessions: int = 0
+    rate_percentiles: Dict[str, Tuple[float, float, float]] = \
+        field(default_factory=dict)  # strategy -> (p50, p90, p99) bps
 
     def report(self) -> str:
         rows = [
@@ -129,8 +194,19 @@ class ModelValidationResult:
         )
         waste_err = (abs(self.waste_empirical_bps - self.waste_closed_bps)
                      / self.waste_closed_bps)
-        return "\n\n".join([
-            moments,
+        parts = [moments]
+        if self.shards:
+            lines = [
+                f"Sharded campaign: {self.campaign_sessions} sessions "
+                f"across {self.shards} shards per strategy "
+                f"(streaming reduction, O(shards) memory)",
+            ]
+            for name, (p50, p90, p99) in self.rate_percentiles.items():
+                lines.append(
+                    f"  {name:<14} aggregate rate p50={p50 / 1e6:.1f} "
+                    f"p90={p90 / 1e6:.1f} p99={p99 / 1e6:.1f} Mbps")
+            parts.append("\n".join(lines))
+        return "\n\n".join(parts + [
             (f"Eq (7) worked example: B'=40 s, k=1.25, beta=0.2 -> "
              f"critical duration = {self.critical_duration_s:.1f} s "
              f"(paper: 53.3 s)"),
@@ -154,20 +230,46 @@ def run(scale: Scale = SMALL, seed: int = 0) -> ModelValidationResult:
     model_mean = aggregate_mean_exact(lam, moments)
     model_var = aggregate_variance(lam, moments)
 
-    samples = run_tasks(_moment_sample, [
-        (catalog, lam, horizon, name, peak, seed + 1)
-        for name in STRATEGY_NAMES
-    ])
-    moment_rows = [
-        MomentRow(
-            strategy=name,
-            empirical_mean=mean_bps,
-            model_mean=model_mean,
-            empirical_var=variance_bps2,
-            model_var=model_var,
-        )
-        for name, (mean_bps, variance_bps2) in zip(STRATEGY_NAMES, samples)
-    ]
+    policy = current_options().sharding
+    rate_percentiles: Dict[str, Tuple[float, float, float]] = {}
+    campaign_sessions = 0
+    if policy is not None:
+        aggregates = _sharded_moments(catalog, lam, peak, scale, seed,
+                                      policy)
+        moment_rows = [
+            MomentRow(
+                strategy=name,
+                empirical_mean=agg.mean_bps,
+                model_mean=model_mean,
+                empirical_var=agg.variance_bps2,
+                model_var=model_var,
+                sessions=agg.sessions,
+            )
+            for name, agg in ((n, aggregates[n]) for n in STRATEGY_NAMES
+                              if n in aggregates)
+        ]
+        campaign_sessions = sum(row.sessions for row in moment_rows)
+        rate_percentiles = {
+            name: tuple(aggregates[name].sketch.percentile(q)
+                        for q in (50, 90, 99))
+            for name in STRATEGY_NAMES if name in aggregates
+        }
+    else:
+        samples = run_tasks(_moment_sample, [
+            (catalog, lam, horizon, name, peak, seed + 1)
+            for name in STRATEGY_NAMES
+        ])
+        moment_rows = [
+            MomentRow(
+                strategy=name,
+                empirical_mean=mean_bps,
+                model_mean=model_mean,
+                empirical_var=variance_bps2,
+                model_var=model_var,
+            )
+            for name, (mean_bps, variance_bps2) in zip(STRATEGY_NAMES,
+                                                       samples)
+        ]
 
     critical = critical_duration(40.0, 1.25, 0.2)
 
@@ -192,4 +294,7 @@ def run(scale: Scale = SMALL, seed: int = 0) -> ModelValidationResult:
         waste_closed_bps=closed,
         sweep_rows=sweep,
         migration_smoothness_ratio=migration.smoothness_ratio,
+        shards=policy.shards if policy is not None else 0,
+        campaign_sessions=campaign_sessions,
+        rate_percentiles=rate_percentiles,
     )

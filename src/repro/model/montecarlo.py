@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..stats import HistogramSketch, MomentAccumulator
 from ..workloads.arrivals import PoissonProcess
 from ..workloads.catalog import Catalog
 from .onoffrate import ConstantRate, OnOffRate, RateProcess
@@ -34,6 +35,63 @@ class AggregateSample:
     @property
     def std_bps(self) -> float:
         return math.sqrt(self.variance_bps2)
+
+
+@dataclass
+class AggregateMoments:
+    """Mergeable statistics of one or more Monte-Carlo runs.
+
+    The sharded counterpart of :class:`AggregateSample`: instead of a
+    finished mean/variance pair it carries the grid samples' streaming
+    moments and histogram sketch (:mod:`repro.stats`), so independent
+    runs over disjoint horizon chunks — the shards of one campaign —
+    merge into the statistics of the whole horizon.  Each shard excludes
+    its own warmup, so every retained grid sample is a steady-state
+    sample and pooling them is unbiased.
+    """
+
+    moments: MomentAccumulator
+    sketch: HistogramSketch
+    sessions: int
+    horizon: float
+    warmup: float
+
+    @property
+    def mean_bps(self) -> float:
+        return self.moments.mean
+
+    @property
+    def variance_bps2(self) -> float:
+        return self.moments.variance
+
+    @property
+    def std_bps(self) -> float:
+        return self.moments.std
+
+    def merge(self, other: "AggregateMoments") -> "AggregateMoments":
+        """Fold another run in (``other`` is left untouched)."""
+        merged = MomentAccumulator()
+        merged.merge(self.moments)
+        self.moments = merged
+        self.moments.merge(other.moments)
+        fresh = HistogramSketch(bins_per_decade=self.sketch.bins_per_decade)
+        fresh.merge(self.sketch)
+        fresh.merge(other.sketch)
+        self.sketch = fresh
+        self.sessions += other.sessions
+        self.horizon += other.horizon
+        self.warmup += other.warmup
+        return self
+
+    def sample(self) -> AggregateSample:
+        """The equivalent finished :class:`AggregateSample` view."""
+        return AggregateSample(
+            mean_bps=self.mean_bps,
+            variance_bps2=self.variance_bps2,
+            horizon=self.horizon,
+            sessions=self.sessions,
+            warmup=self.warmup,
+        )
 
 
 StrategyFactory = Callable[[float, float, float], RateProcess]
@@ -73,25 +131,20 @@ def long_onoff_strategy(
                                 buffering_playback_s)
 
 
-def simulate_aggregate(
+def _simulate_grid(
     catalog: Catalog,
     lam: float,
     horizon: float,
     strategy: StrategyFactory,
-    *,
-    peak_bps: float = 10e6,
-    dt: float = 0.5,
-    warmup: Optional[float] = None,
-    rng: Optional[random.Random] = None,
-    seed: int = 0,
-) -> AggregateSample:
-    """Sample the aggregate rate of Poisson video sessions.
+    peak_bps: float,
+    dt: float,
+    rng: random.Random,
+) -> Tuple[np.ndarray, np.ndarray, int, float]:
+    """Build the aggregate-rate grid R(t) for one Poisson arrival run.
 
-    ``warmup`` (default: the catalog's mean download time x 3) is excluded
-    from the statistics so the process is in steady state.
+    Returns ``(times, grid, sessions, max_duration)``; callers apply
+    their own warmup policy to the grid.
     """
-    if rng is None:
-        rng = random.Random(seed)
     arrivals = PoissonProcess(lam, rng).times_until(horizon)
     grid = np.zeros(int(horizon / dt) + 1)
     times = np.arange(len(grid)) * dt
@@ -128,17 +181,97 @@ def simulate_aggregate(
         else:  # pragma: no cover - generic fallback
             grid[lo:hi + 1] += np.array([process.rate_at(u) for u in local])
 
+    return times, grid, len(arrivals), max_duration
+
+
+def _steady_samples(
+    times: np.ndarray,
+    grid: np.ndarray,
+    horizon: float,
+    max_duration: float,
+    warmup: Optional[float],
+) -> Tuple[np.ndarray, float]:
+    """Drop the warmup prefix (default: 3x the longest download, capped
+    at a quarter of the horizon) so only steady-state samples remain."""
     if warmup is None:
         warmup = min(horizon / 4, 3 * max_duration if max_duration else horizon / 4)
-    keep = times >= warmup
-    samples = grid[keep]
+    samples = grid[times >= warmup]
     if samples.size < 2:
         raise ValueError("horizon too short for the requested warmup")
+    return samples, warmup
+
+
+def simulate_aggregate(
+    catalog: Catalog,
+    lam: float,
+    horizon: float,
+    strategy: StrategyFactory,
+    *,
+    peak_bps: float = 10e6,
+    dt: float = 0.5,
+    warmup: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+    seed: int = 0,
+) -> AggregateSample:
+    """Sample the aggregate rate of Poisson video sessions.
+
+    ``warmup`` (default: the catalog's mean download time x 3) is excluded
+    from the statistics so the process is in steady state.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    times, grid, sessions, max_duration = _simulate_grid(
+        catalog, lam, horizon, strategy, peak_bps, dt, rng)
+    samples, warmup = _steady_samples(times, grid, horizon, max_duration,
+                                      warmup)
     return AggregateSample(
         mean_bps=float(samples.mean()),
         variance_bps2=float(samples.var()),
         horizon=horizon,
-        sessions=len(arrivals),
+        sessions=sessions,
+        warmup=warmup,
+    )
+
+
+def simulate_aggregate_moments(
+    catalog: Catalog,
+    lam: float,
+    horizon: float,
+    strategy: StrategyFactory,
+    *,
+    peak_bps: float = 10e6,
+    dt: float = 0.5,
+    warmup: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+    seed: int = 0,
+) -> AggregateMoments:
+    """Like :func:`simulate_aggregate`, but return mergeable moments.
+
+    The run's steady-state grid samples fold into a streaming
+    :class:`~repro.stats.MomentAccumulator` and
+    :class:`~repro.stats.HistogramSketch` instead of a finished
+    mean/variance, so shards of one campaign — independent seeds over
+    horizon chunks — combine via :meth:`AggregateMoments.merge` into the
+    statistics of the pooled horizon.  On the same inputs,
+    ``simulate_aggregate_moments(...).sample()`` agrees with
+    :func:`simulate_aggregate` exactly in session count and to float
+    rounding in mean/variance.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    times, grid, sessions, max_duration = _simulate_grid(
+        catalog, lam, horizon, strategy, peak_bps, dt, rng)
+    samples, warmup = _steady_samples(times, grid, horizon, max_duration,
+                                      warmup)
+    moments = MomentAccumulator()
+    moments.add_many(samples)
+    sketch = HistogramSketch()
+    sketch.observe_many(samples)
+    return AggregateMoments(
+        moments=moments,
+        sketch=sketch,
+        sessions=sessions,
+        horizon=horizon,
         warmup=warmup,
     )
 

@@ -35,7 +35,12 @@ from .bench import (
     peak_rss_kb,
     run_suite,
 )
-from .collect import FAILURE_FIELDS, CampaignCollector
+from .collect import (
+    AGGREGATE_FIELDS,
+    CampaignCollector,
+    CampaignSnapshot,
+    FAILURE_FIELDS,
+)
 from .exporters import (
     export_records,
     prometheus_lines,
@@ -48,9 +53,11 @@ from .metrics import METRIC_FIELDS, metric_samples
 from .progress import ProgressReporter
 
 __all__ = [
+    "AGGREGATE_FIELDS",
     "BENCH_SCHEMA",
     "BenchWriter",
     "CampaignCollector",
+    "CampaignSnapshot",
     "FAILURE_FIELDS",
     "FLOW_FIELDS",
     "METRIC_FIELDS",

@@ -37,6 +37,7 @@ import time
 from typing import Any, Optional, Sequence, TextIO
 
 from ..runner.pool import NullRunObserver
+from ..runner.sharding import ShardResult
 
 __all__ = [
     "ProgressReporter",
@@ -62,6 +63,10 @@ class ProgressReporter(NullRunObserver):
         self.retries = 0
         self.faults = 0
         self.failed = 0
+        self.shards_done = 0
+        self.shards_total = 0
+        self._batch_live_shards = 0
+        self._shard_campaigns: set = set()
         self._started = time.monotonic()
         self._last_render = 0.0
         self._width = 0
@@ -81,11 +86,23 @@ class ProgressReporter(NullRunObserver):
         self.total += units
         self.done += cache_hits
         self.cache_hits += cache_hits
+        self._batch_live_shards = 0
         self._render(force=self._tty)
+
+    def _note_shard_campaign(self, spec) -> None:
+        # a campaign may fan out several shard groups (one per strategy,
+        # say); the displayed total sums each group's size once
+        if spec.campaign not in self._shard_campaigns:
+            self._shard_campaigns.add(spec.campaign)
+            self.shards_total += spec.of
 
     def unit_finished(self, value: Any) -> None:
         """One simulated unit completed."""
         self.done += 1
+        if isinstance(value, ShardResult):
+            self.shards_done += 1
+            self._batch_live_shards += 1
+            self._note_shard_campaign(value.shard)
         self._render()
 
     def unit_failed(self, failure) -> None:
@@ -101,11 +118,20 @@ class ProgressReporter(NullRunObserver):
 
     def batch_finished(self, values: Sequence[Any]) -> None:
         """Fold the batch's fault/retry counters into the status line."""
+        batch_shards = 0
         for value in values:
             self.retries += getattr(value, "retry_count", 0) or 0
             fault_log = getattr(value, "fault_log", None)
             if fault_log is not None:
                 self.faults += len(fault_log)
+            if isinstance(value, ShardResult):
+                batch_shards += 1
+                self._note_shard_campaign(value.shard)
+        if batch_shards:
+            # cache-hit shards never pass through unit_finished; credit
+            # whatever the live counter did not already see
+            self.shards_done += batch_shards - self._batch_live_shards
+            self._batch_live_shards = 0
         self._render(force=self._tty)
 
     # -- rendering -----------------------------------------------------------
@@ -113,8 +139,10 @@ class ProgressReporter(NullRunObserver):
     def _line(self) -> str:
         elapsed = max(time.monotonic() - self._started, 1e-9)
         rate = self.done / elapsed
-        parts = [f"{self.label} {self.done}/{self.total}",
-                 f"{rate:.1f}/s"]
+        parts = [f"{self.label} {self.done}/{self.total}"]
+        if self.shards_total:
+            parts.append(f"shards {self.shards_done}/{self.shards_total}")
+        parts.append(f"{rate:.1f}/s")
         remaining = self.total - self.done
         if remaining > 0 and rate > 0:
             parts.append(f"eta {remaining / rate:.0f}s")

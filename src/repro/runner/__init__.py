@@ -31,6 +31,11 @@ Public API:
 * :class:`CampaignJournal`, :func:`campaign_fingerprint`,
   :func:`list_journals` — the write-ahead campaign ledger behind
   ``repro experiment --resume`` (:mod:`repro.runner.journal`).
+* :class:`Sharding`, :class:`ShardSpec`, :class:`ShardResult`,
+  :class:`ShardStore`, :func:`run_shards`, :func:`run_sharded_sessions`,
+  :func:`shard_fingerprint` — the million-session campaign layer
+  (:mod:`repro.runner.sharding`): deterministic shards through the
+  supervised pool, shard-level artifacts, streaming reduction.
 """
 
 from .cache import ResultCache
@@ -52,8 +57,19 @@ from .pool import (
     SessionPlan,
     current_options,
     engine_options,
+    merge_options,
     run_sessions,
     run_tasks,
+)
+from .sharding import (
+    ShardResult,
+    ShardSpec,
+    ShardStore,
+    Sharding,
+    run_sharded_sessions,
+    run_shards,
+    shard_fingerprint,
+    split_items,
 )
 from .supervise import (
     CampaignAborted,
@@ -81,6 +97,10 @@ __all__ = [
     "RetryBudget",
     "RunStats",
     "SessionPlan",
+    "ShardResult",
+    "ShardSpec",
+    "ShardStore",
+    "Sharding",
     "SupervisionPolicy",
     "UnitFailure",
     "campaign_fingerprint",
@@ -90,9 +110,14 @@ __all__ = [
     "engine_options",
     "fingerprint",
     "list_journals",
+    "merge_options",
     "plan_fingerprint",
     "run_sessions",
+    "run_sharded_sessions",
+    "run_shards",
     "run_supervised",
     "run_tasks",
+    "shard_fingerprint",
+    "split_items",
     "task_fingerprint",
 ]

@@ -34,6 +34,7 @@ results do.  Recording state never enters a cache fingerprint.
 from __future__ import annotations
 
 import contextvars
+import dataclasses
 import multiprocessing
 import os
 from contextlib import contextmanager
@@ -66,6 +67,7 @@ __all__ = [
     "SessionPlan",
     "current_options",
     "engine_options",
+    "merge_options",
     "run_sessions",
     "run_tasks",
 ]
@@ -178,8 +180,12 @@ class EngineOptions:
     quarantine), a :class:`~repro.runner.journal.CampaignJournal`
     receives a write-ahead record as each unit settles, and a
     :class:`~repro.runner.supervise.FailureReport` accumulates whatever
-    was quarantined.  All three default to off/None — the engine then
-    behaves exactly as it always has.
+    was quarantined.  ``sharding`` is the campaign-scaling layer: a
+    :class:`~repro.runner.sharding.Sharding` policy that sharding-aware
+    call sites (:func:`~repro.runner.sharding.run_shards`, the
+    ``model_validation`` experiment) consult to split one campaign into
+    deterministic, individually-cached shards.  Everything defaults to
+    off/None — the engine then behaves exactly as it always has.
     """
 
     jobs: int = 1
@@ -189,6 +195,7 @@ class EngineOptions:
     supervision: Optional[SupervisionPolicy] = None
     journal: Optional[CampaignJournal] = None
     failures: Optional[FailureReport] = None
+    sharding: Optional[Any] = None  # repro.runner.sharding.Sharding
 
 
 _OPTIONS: contextvars.ContextVar[EngineOptions] = contextvars.ContextVar(
@@ -204,34 +211,57 @@ def _as_cache(cache: CacheLike) -> Optional[ResultCache]:
     return ResultCache(cache)
 
 
+#: Per-field override normalizers applied by :func:`merge_options`.
+_NORMALIZE = {
+    "jobs": lambda jobs: max(1, int(jobs)),
+    "cache": _as_cache,
+}
+
+_FIELD_NAMES = frozenset(f.name for f in dataclasses.fields(EngineOptions))
+
+
+def merge_options(base: EngineOptions, overrides: dict) -> EngineOptions:
+    """A new :class:`EngineOptions` = ``base`` with non-``None`` overrides.
+
+    One ``dataclasses.replace`` call instead of a per-field
+    ``base.x if x is None else x`` ladder: adding an engine option is
+    now one dataclass field (plus, where needed, one ``_NORMALIZE``
+    entry), and every caller — :func:`engine_options`, tests, the CLI —
+    inherits it without edits.  ``None`` always means "keep the
+    surrounding value", which is what makes nested scopes compose.
+    """
+    unknown = set(overrides) - _FIELD_NAMES
+    if unknown:
+        raise TypeError(
+            f"unknown engine option(s): {', '.join(sorted(unknown))}; "
+            f"know {', '.join(sorted(_FIELD_NAMES))}"
+        )
+    changes = {
+        name: _NORMALIZE.get(name, lambda v: v)(value)
+        for name, value in overrides.items()
+        if value is not None
+    }
+    return dataclasses.replace(base, **changes)
+
+
 def current_options() -> EngineOptions:
     """The engine options in effect for this context."""
     return _OPTIONS.get()
 
 
 @contextmanager
-def engine_options(jobs: Optional[int] = None, cache: CacheLike = None,
-                   stats: Optional[RunStats] = None,
-                   observer: Optional[NullRunObserver] = None,
-                   supervision: Optional[SupervisionPolicy] = None,
-                   journal: Optional[CampaignJournal] = None,
-                   failures: Optional[FailureReport] = None):
+def engine_options(**overrides):
     """Override the ambient engine options within a ``with`` block.
 
-    ``None`` keeps the surrounding value, so nested scopes compose: a
-    test can pin ``jobs=1`` around an experiment the CLI configured with
-    ``jobs=8``.
+    Keywords are the :class:`EngineOptions` fields — ``jobs``, ``cache``
+    (a :class:`ResultCache`, a path, or ``None``), ``stats``,
+    ``observer``, ``supervision``, ``journal``, ``failures``,
+    ``sharding``.  ``None`` keeps the surrounding value, so nested
+    scopes compose: a test can pin ``jobs=1`` around an experiment the
+    CLI configured with ``jobs=8``.
     """
     base = _OPTIONS.get()
-    options = EngineOptions(
-        jobs=base.jobs if jobs is None else max(1, int(jobs)),
-        cache=base.cache if cache is None else _as_cache(cache),
-        stats=base.stats if stats is None else stats,
-        observer=base.observer if observer is None else observer,
-        supervision=base.supervision if supervision is None else supervision,
-        journal=base.journal if journal is None else journal,
-        failures=base.failures if failures is None else failures,
-    )
+    options = merge_options(base, overrides)
     token = _OPTIONS.set(options)
     try:
         yield options
@@ -553,12 +583,17 @@ def run_sessions(plans: Iterable[PlanLike], *, jobs: Optional[int] = None,
 
 def run_tasks(fn: Callable[..., Any], argslist: Iterable[tuple], *,
               jobs: Optional[int] = None, cache: CacheLike = None,
-              stats: Optional[RunStats] = None) -> List[Any]:
+              stats: Optional[RunStats] = None,
+              keys: Optional[List[str]] = None) -> List[Any]:
     """Execute ``fn(*args)`` for each args tuple, in order.
 
     ``fn`` must be a module-level function (picklable by reference) and
     deterministic in its arguments — the cache key is (function name,
-    args, code version), exactly parallel to the session path.
+    args, code version), exactly parallel to the session path.  A caller
+    that already owns a content-addressing scheme (the shard engine's
+    shard fingerprints) passes explicit ``keys``, one per args tuple;
+    the caller then guarantees the key covers everything the task result
+    depends on.
     """
     options = _OPTIONS.get()
     jobs = options.jobs if jobs is None else max(1, int(jobs))
@@ -567,8 +602,12 @@ def run_tasks(fn: Callable[..., Any], argslist: Iterable[tuple], *,
     rec = current_recorder()
     observer = options.observer
     items = [(fn, tuple(args), rec.enabled) for args in argslist]
-    keys = None
-    if cache is not None or options.journal is not None:
+    if keys is not None:
+        keys = list(keys)
+        if len(keys) != len(items):
+            raise ValueError(
+                f"run_tasks got {len(items)} tasks but {len(keys)} keys")
+    elif cache is not None or options.journal is not None:
         # Keyed on (function, args, code version); the record flag is
         # deliberately excluded, like everything telemetry-related.
         keys = [task_fingerprint(fn, args) for _fn, args, _record in items]

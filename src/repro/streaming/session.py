@@ -314,10 +314,30 @@ def _run_session_impl(video: Video, config: SessionConfig) -> SessionResult:
 
 
 def run_sessions(videos, config: SessionConfig) -> List[SessionResult]:
-    """Stream each video in sequence (fresh network per session), as the
-    paper's serial measurement procedure did."""
-    results = []
-    for i, video in enumerate(videos):
-        cfg = SessionConfig(**{**vars(config), "seed": derive_seed(config.seed, str(i))})
-        results.append(run_session(video, cfg))
-    return results
+    """Deprecated: delegate a serial session batch to the engine.
+
+    Historically this looped :func:`run_session` inline; it now derives
+    the same per-session seeds and hands the plans to
+    :func:`repro.runner.run_sessions`, so there is one campaign entry
+    point and ambient engine options (jobs, cache, observers,
+    supervision) apply here too.  Results are identical in content and
+    order; new code should build :class:`~repro.runner.SessionPlan`
+    batches and call the engine directly.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.streaming.run_sessions is deprecated; build SessionPlan "
+        "batches and call repro.runner.run_sessions (the engine) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..runner.pool import run_sessions as _engine_run_sessions
+
+    plans = [
+        (video,
+         SessionConfig(**{**vars(config),
+                          "seed": derive_seed(config.seed, str(i))}))
+        for i, video in enumerate(videos)
+    ]
+    return _engine_run_sessions(plans)

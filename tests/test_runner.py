@@ -19,7 +19,6 @@ import repro.experiments as experiments_pkg
 # submodule on ``import repro.runner.fingerprint as ...``
 fingerprint_module = importlib.import_module("repro.runner.fingerprint")
 from repro.experiments import (
-    ALL_EXPERIMENTS,
     REGISTRY,
     Scale,
     fig2,
@@ -256,13 +255,11 @@ class TestRegistry:
     def test_all_derives_from_registry(self):
         assert set(REGISTRY) <= set(experiments_pkg.__all__)
 
-    def test_all_experiments_alias_warns(self):
-        with pytest.warns(DeprecationWarning):
-            module = ALL_EXPERIMENTS["table1"]
-        assert module is REGISTRY["table1"].module
-        with pytest.warns(DeprecationWarning):
-            names = list(ALL_EXPERIMENTS)
-        assert names == list(REGISTRY)
+    def test_all_experiments_alias_removed(self):
+        # the PR-2 deprecation cycle is complete: the module-dict alias
+        # is gone, REGISTRY/get_experiment are the only lookup paths
+        assert not hasattr(experiments_pkg, "ALL_EXPERIMENTS")
+        assert "ALL_EXPERIMENTS" not in experiments_pkg.__all__
 
 
 class TestSessionPlanKeys:

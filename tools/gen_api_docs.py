@@ -36,6 +36,7 @@ PUBLIC_MODULES = [
     "repro.workloads",
     "repro.streaming",
     "repro.analysis",
+    "repro.stats",
     "repro.model",
     "repro.runner",
     "repro.experiments",
