@@ -1,15 +1,22 @@
-"""Microbenchmarks for the simulation fast path (PR 5 tentpole).
+"""Microbenchmarks for the simulation fast path (PR 5 + PR 8 tentpoles).
 
-Three probes of the allocation-lean core, wired into the shared
+Five probes of the allocation-lean core, wired into the shared
 ``--repro-bench-out`` BenchWriter schema so ``repro bench --compare``
 gates regressions:
 
 * **scheduler churn** — raw event-loop throughput: tuple-entry posts,
   argument-carrying callbacks, handle cancellation and lazy deletion.
-* **single long-cycle session** — the acceptance workload: one 600 s
-  2 Mbps video over the Residence profile, whose block transfer settles
-  into the paper's long ON-OFF cycles (Figure 2 receive-window
-  throttling).  This is the ≥2x-vs-main criterion.
+* **single long-cycle session** — the PR 5 acceptance workload: one
+  600 s 2 Mbps video over the Residence profile, whose block transfer
+  settles into the paper's long ON-OFF cycles (Figure 2 receive-window
+  throttling).
+* **fast-path gate session** — the PR 8 CI gate workload: the same
+  throttled ON/OFF shape on the clean 100 Mbps Research profile, where
+  fast-forward + vectorized dispatch + train batching carry the run
+  (this is the workload ``.github/workflows/ci.yml`` times A/B).
+* **bulk train session** — the no-ON/OFF bulk-transfer strategy (HTML5
+  webm over Firefox), where ``transmit_train`` and the vectorized
+  delivery loop dominate.
 * **64-session campaign** — many short sessions back to back, the shape
   of the ROADMAP's campaign engine.
 
@@ -20,7 +27,7 @@ run doubles as a byte-identity check.
 import pytest
 
 from repro.simnet import EventScheduler
-from repro.simnet.profiles import RESIDENCE
+from repro.simnet.profiles import RESEARCH, RESIDENCE
 from repro.streaming import Application, Service
 from repro.streaming.session import SessionConfig, run_session
 from repro.workloads import MBPS, Video
@@ -71,6 +78,50 @@ def test_bench_core_session_long_cycle(benchmark):
     assert len(result.capture) == 69583
     assert result.downloaded == 66164352
     assert not result.failed
+
+
+def test_bench_core_session_ff_gate(benchmark):
+    """The CI fast-path gate workload: throttled ON/OFF streaming on a
+    clean fast link, where the analytic layers do the heavy lifting."""
+
+    def gate_session():
+        video = Video(video_id="bench-ff", duration=900.0,
+                      encoding_rate_bps=2 * MBPS,
+                      resolution="360p", container="flv")
+        config = SessionConfig(profile=RESEARCH, service=Service.YOUTUBE,
+                               application=Application.FIREFOX,
+                               capture_duration=180.0, seed=7)
+        return run_session(video, config)
+
+    result = benchmark.pedantic(gate_session, rounds=3, iterations=1)
+    # Byte-identity pins (identical with every fast-path layer off).
+    assert len(result.capture) == 68706
+    assert result.downloaded == 66229888
+    assert not result.failed
+
+
+def test_bench_core_session_bulk_train(benchmark):
+    """Bulk no-ON/OFF transfer: the vectorized packet-train workload."""
+
+    def bulk_session():
+        video = Video(video_id="bench-bulk", duration=120.0,
+                      encoding_rate_bps=2 * MBPS,
+                      resolution="360p", container="webm")
+        config = SessionConfig(profile=RESEARCH, service=Service.YOUTUBE,
+                               application=Application.FIREFOX,
+                               capture_duration=60.0, seed=5)
+        return run_session(video, config)
+
+    result = benchmark.pedantic(bulk_session, rounds=3, iterations=1)
+    assert not result.failed
+    assert len(result.capture) == BULK_TRAIN_PACKETS
+    assert result.downloaded == BULK_TRAIN_BYTES
+
+
+#: Byte-identity pins for the bulk-train workload (identical with every
+#: fast-path layer off; see tests/test_fastpath_equivalence.py).
+BULK_TRAIN_PACKETS = 32891
+BULK_TRAIN_BYTES = 30000032
 
 
 def test_bench_core_campaign_64(benchmark):

@@ -230,6 +230,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--report-only", action="store_true",
         help="with --compare: print the diff but always exit 0")
+    p_bench.add_argument(
+        "--history", nargs="?", const=".", default=None, metavar="DIR",
+        help="print the per-benchmark trajectory across every committed "
+             "BENCH_*.json under DIR (default: the cwd) instead of running")
 
     p_list = sub.add_parser(
         "list", help="show experiments, applications, networks, campaigns")
@@ -607,6 +611,15 @@ def _cmd_profile(args) -> int:
 
 def _cmd_bench(args) -> int:
     from .obs import bench as obs_bench
+
+    if args.history is not None:
+        payloads = obs_bench.load_history(args.history)
+        if not payloads:
+            print(f"bench history: no BENCH_*.json under {args.history}",
+                  file=sys.stderr)
+            return 2
+        print(obs_bench.format_history(payloads))
+        return 0
 
     if args.compare:
         base_path, new_path = args.compare

@@ -30,8 +30,10 @@ from .bench import (
     Regression,
     compare,
     format_comparison,
+    format_history,
     git_sha,
     load_bench,
+    load_history,
     peak_rss_kb,
     run_suite,
 )
@@ -68,8 +70,10 @@ __all__ = [
     "export_records",
     "flow_records",
     "format_comparison",
+    "format_history",
     "git_sha",
     "load_bench",
+    "load_history",
     "metric_samples",
     "peak_rss_kb",
     "prometheus_lines",

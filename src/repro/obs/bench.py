@@ -38,8 +38,10 @@ __all__ = [
     "QUICK_SUITE",
     "compare",
     "format_comparison",
+    "format_history",
     "git_sha",
     "load_bench",
+    "load_history",
     "peak_rss_kb",
     "run_suite",
 ]
@@ -207,6 +209,98 @@ def format_comparison(baseline: Dict, candidate: Dict,
     lines.append(
         f"{len(regressions)} regression(s) beyond +{threshold:.0%}"
     )
+    return "\n".join(lines)
+
+
+def _commit_order(directory: Path) -> Dict[str, int]:
+    """Map abbreviated shas to first-parent commit positions, oldest = 0.
+
+    Empty when the directory is not a git checkout — callers then fall
+    back to file-mtime ordering.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-list", "--first-parent", "--abbrev-commit", "HEAD"],
+            cwd=str(directory), capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return {}
+    if out.returncode != 0:
+        return {}
+    shas = out.stdout.split()             # newest first
+    return {sha: i for i, sha in enumerate(reversed(shas))}
+
+
+def load_history(directory=".") -> List[Dict]:
+    """Every ``BENCH_*.json`` under ``directory``, oldest first.
+
+    The trajectory order is first-parent commit order when git can place
+    a file's ``git_sha`` (abbreviation differences are matched by
+    prefix); files git cannot place follow, in mtime order.  Unreadable
+    or schema-mismatched files are skipped — a history listing should
+    survive one corrupt snapshot.
+    """
+    directory = Path(directory)
+    order = _commit_order(directory)
+
+    def position(data: Dict) -> Optional[int]:
+        sha = str(data.get("git_sha", ""))
+        if not sha:
+            return None
+        for known, idx in order.items():
+            if known.startswith(sha) or sha.startswith(known):
+                return idx
+        return None
+
+    known, unknown = [], []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            data = load_bench(path)
+        except (OSError, ValueError):
+            continue
+        pos = position(data)
+        if pos is not None:
+            known.append((pos, data))
+        else:
+            unknown.append((path.stat().st_mtime, data))
+    known.sort(key=lambda item: item[0])
+    unknown.sort(key=lambda item: item[0])
+    return [data for _, data in known] + [data for _, data in unknown]
+
+
+def format_history(payloads: Sequence[Dict]) -> str:
+    """Per-benchmark trajectory table for ``repro bench --history``.
+
+    One row per benchmark entry, one wall-time column per snapshot
+    (oldest to newest), and a closing speedup column — first over last,
+    so bigger is faster.  Wall times are only comparable when the
+    snapshots came from comparable hardware; the table reports what was
+    committed, it does not normalize.
+    """
+    shas = [str(p.get("git_sha", "?")) for p in payloads]
+    names = sorted({name for p in payloads for name in p["entries"]})
+    lines = [f"bench history — {len(payloads)} snapshot(s), oldest → newest"]
+    if not names:
+        lines.append("  (no entries)")
+        return "\n".join(lines)
+    width = max(len(n) for n in names)
+    col = max([9] + [len(s) + 1 for s in shas])
+    header = "  " + " " * width + "".join(f"  {s:>{col}}" for s in shas)
+    lines.append(header + "  first→last")
+    for name in names:
+        walls = [p["entries"].get(name, {}).get("wall_s") for p in payloads]
+        cells = "".join(
+            f"  {w:>{col - 1}.3f}s" if w is not None else f"  {'—':>{col}}"
+            for w in walls
+        )
+        present = [w for w in walls if w is not None]
+        if len(present) >= 2 and present[-1] > 0:
+            ratio = present[0] / present[-1]
+            trend = (f"{ratio:.2f}x faster" if ratio >= 1.0
+                     else f"{1 / ratio:.2f}x slower")
+        else:
+            trend = "—"
+        lines.append(f"  {name:<{width}}{cells}  {trend}")
     return "\n".join(lines)
 
 

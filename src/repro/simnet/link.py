@@ -32,25 +32,69 @@ path.  Fault injectors flip ``up``/``rate`` but never touch scheduled
 deliveries, so they are safe with batching too.  The module-level
 :data:`BATCH_DELIVERIES` switch turns the fast path off globally, which
 the equivalence tests use to prove the two paths agree.
+
+Vectorized packet trains
+------------------------
+
+Two further fast paths build on the train, both toggled by
+:data:`VECTOR_TRAINS` (env ``REPRO_VECTOR_TRAINS``) and both covered by
+the same byte-identity equivalence suite:
+
+* **Burst enqueue** — :meth:`Link.transmit_train` accepts a whole burst
+  of equal-size segments and computes their serialization finish times
+  in one shot (``numpy.add.accumulate`` when numpy is importable and the
+  ``REPRO_NO_NUMPY`` env var is unset, a plain Python loop otherwise;
+  ``add.accumulate`` is strictly sequential, so both produce bit-equal
+  IEEE-754 results).  Loss draws stay per-packet scalar calls so the RNG
+  stream is untouched, and any burst that could hit the drop-tail check
+  or a mixed-rate queue falls back to per-packet :meth:`transmit`.
+* **Batched delivery** — :meth:`Link._deliver_train` processes a prefix
+  of the train under a single scheduler event instead of re-posting one
+  event per packet.  The batch stops strictly before the earliest *live
+  cancellable* event in the heap (timers, monitor ticks, pacing pushes —
+  their callbacks may observe state the batch mutates) and before the
+  ``run_until`` horizon; plain tuple events are exclusively link
+  deliveries, whose processing commutes with the batch.  Each delivery
+  inside the batch runs at its exact reserved ``(time, seq)`` with the
+  clock pinned to its timestamp, so captures and protocol state are
+  byte-identical to one-event-per-packet stepping.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from .errors import ConfigurationError
 from .loss import LossModel, NoLoss
-from .scheduler import EventScheduler
+from .scheduler import EventScheduler, _HANDLE
+
+try:  # numpy is optional; the pure-python fallback is bit-identical
+    if os.environ.get("REPRO_NO_NUMPY", "").lower() in ("1", "true", "on"):
+        raise ImportError("numpy disabled via REPRO_NO_NUMPY")
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
 
 # A wire packet is anything exposing its on-the-wire size in bytes.
 DeliverFn = Callable[[Any], None]
 TapFn = Callable[[float, Any], None]
 
 #: Global default for the packet-train delivery fast path.  Tests flip
-#: this to prove batched and unbatched runs are byte-identical; there is
-#: no reason to disable it otherwise.
-BATCH_DELIVERIES = True
+#: this to prove batched and unbatched runs are byte-identical, and the
+#: CI fast-path gate disables it (``REPRO_BATCH_DELIVERIES=0``) to time
+#: the scalar event-per-packet reference path; there is no reason to
+#: disable it otherwise.
+BATCH_DELIVERIES = os.environ.get("REPRO_BATCH_DELIVERIES", "1").lower() not in (
+    "0", "false", "off")
+
+#: Global default for the vectorized packet-train paths (burst enqueue
+#: and batched delivery).  Overridable through the
+#: ``REPRO_VECTOR_TRAINS`` environment variable; the equivalence tests
+#: flip it per run to prove byte-identity against the scalar paths.
+VECTOR_TRAINS = os.environ.get("REPRO_VECTOR_TRAINS", "1").lower() not in (
+    "0", "false", "off")
 
 
 class LinkStats:
@@ -123,6 +167,21 @@ class Link:
         # head entry occupies the scheduler heap.
         self._train: Deque[Tuple[float, int, Any]] = deque()
         self._batch = BATCH_DELIVERIES
+        self._vector = VECTOR_TRAINS
+        # True while _deliver_train() is draining the train: a transmit
+        # re-entering this link then must not post a head event (the
+        # batch posts exactly one for whatever remains when it ends).
+        self._in_batch = False
+        # Monomorphic receiver cache for the inline fast paths: the last
+        # flow key seen and its connection's _fast_inorder_data /
+        # _fast_pure_ack (None when the receiver has no fast path).  A
+        # stale entry is harmless — the fast paths' own guards reject
+        # closed connections and the generic demux then takes over.
+        self._fast_key = None
+        self._fast_data_fn = None
+        self._fast_ack_fn = None
+        self._fast_conn = None
+        scheduler.add_quiescence_probe(self.quiescent)
 
     # -- fault state --------------------------------------------------------
 
@@ -153,6 +212,11 @@ class Link:
         self.rate_bps = self.base_rate_bps
         self._rate_epoch += 1
         self._train.clear()
+        self._in_batch = False
+        self._fast_key = None
+        self._fast_data_fn = None
+        self._fast_ack_fn = None
+        self._fast_conn = None
 
     # -- wiring -------------------------------------------------------------
 
@@ -171,6 +235,22 @@ class Link:
         fires only for packets actually delivered (what tcpdump at the far
         end of the link sees — lost packets never appear)."""
         self._delivery_taps.append(tap)
+
+    # -- quiescence ---------------------------------------------------------
+
+    def quiescent(self, until: float) -> bool:
+        """Quiescence probe for the scheduler's OFF-period fast-forward.
+
+        The link is provably idle only when no delivery train is pending
+        and the transmitter has finished serializing: a packet in flight
+        means the window ``(now, until)`` is not an OFF period, so the
+        fast-forward must refuse it (its delivery event still fires at
+        the exact scheduled time either way — refusal costs nothing but
+        the accounting).
+        """
+        if self._train:
+            return False
+        return self._busy_until <= self.scheduler.clock._now
 
     # -- queue state --------------------------------------------------------
 
@@ -267,7 +347,7 @@ class Link:
             # train's head in the scheduler heap.
             train = self._train
             train.append((finish + self.prop_delay, scheduler.reserve_seq(), packet))
-            if len(train) == 1:
+            if len(train) == 1 and not self._in_batch:
                 scheduler.post(train[0][0], train[0][1], self._deliver_next)
             return True
         if self.loss_model.should_drop():
@@ -276,13 +356,139 @@ class Link:
         scheduler.call_at(finish + self.prop_delay, self._deliver, packet)
         return True
 
+    def transmit_train(self, packets: List[Any]) -> None:
+        """Enqueue a burst of equal-size packets, vectorizing the math.
+
+        Byte-identical to calling :meth:`transmit` once per packet: the
+        serialization finish times follow the same float recurrence
+        (``numpy.add.accumulate`` is strictly sequential, so the numpy
+        and pure-python legs produce bit-equal results), loss draws stay
+        per-packet scalar calls in the same RNG order, and sequence
+        numbers are reserved packet by packet.  Bursts that could differ
+        from the scalar path — drop-tail pressure, a mixed-rate queue
+        after ``set_rate``, a down link — fall back to per-packet
+        :meth:`transmit`.
+        """
+        n = len(packets)
+        if n == 0:
+            return
+        if self.deliver is None:
+            raise ConfigurationError(f"link {self.name!r} has no delivery callback")
+        scheduler = self.scheduler
+        now = scheduler.clock._now
+        stats = self.stats
+        if not self.up:
+            stats.packets_in += n
+            stats.packets_blackholed += n
+            return
+        size = packets[0].wire_size
+        queue = self._queue
+        while queue and queue[0][0] <= now:
+            self._queued_bytes -= queue.popleft()[1]
+        rate = self.rate_bps
+        busy = self._busy_until
+        start = busy if busy > now else now
+        delta = size * 8.0 / rate
+        # The backlog the drop-tail check sees is largest just before the
+        # final packet; if even that fits (at the uniform current rate),
+        # no per-packet drop decision can differ from the scalar path.
+        worst = (start + (n - 1) * delta - now) * rate / 8.0
+        if (
+            (queue and queue[0][3] != self._rate_epoch)
+            or worst + size > self.buffer_bytes
+        ):
+            for packet in packets:
+                self.transmit(packet)
+            return
+        stats.packets_in += n
+        if _np is not None and n >= 8:
+            finishes = _np.empty(n + 1)
+            finishes[0] = start
+            finishes[1:] = delta
+            _np.add.accumulate(finishes, out=finishes)
+            finish_list = finishes[1:].tolist()
+        else:
+            finish_list = []
+            f = start
+            for _ in range(n):
+                f = f + delta
+                finish_list.append(f)
+        self._busy_until = finish_list[-1]
+        self._queued_bytes += size * n
+        epoch = self._rate_epoch
+        qappend = queue.append
+        taps = self._taps
+        loss_model = self.loss_model
+        draw = None if type(loss_model) is NoLoss else loss_model.should_drop
+        batch = self._batch
+        train = self._train
+        tappend = train.append
+        reserve = scheduler.reserve_seq
+        prop = self.prop_delay
+        for i in range(n):
+            packet = packets[i]
+            finish = finish_list[i]
+            qappend((finish, size, rate, epoch))
+            if taps:
+                for tap in taps:
+                    tap(finish, packet)
+            if draw is not None and draw():
+                stats.packets_lost += 1
+                continue
+            if batch:
+                tappend((finish + prop, reserve(), packet))
+                if len(train) == 1 and not self._in_batch:
+                    scheduler.post(train[0][0], train[0][1], self._deliver_next)
+            else:
+                scheduler.call_at(finish + prop, self._deliver, packet)
+
+    def _resolve_fast(self, packet: Any) -> None:
+        """(Re)fill the monomorphic receiver cache for ``packet``'s flow.
+
+        Resolves the registered handler exactly like
+        :meth:`Host.deliver_segment` and caches the owning connection's
+        ``_fast_inorder_data`` / ``_fast_pure_ack`` (or ``None`` for
+        receivers without them).
+        """
+        key = (packet.dst_port, packet.src_ip, packet.src_port)
+        conns = getattr(getattr(self.deliver, "__self__", None),
+                        "_connections", None)
+        conn = None
+        data_fn = None
+        ack_fn = None
+        if conns is not None:
+            handler = conns.get(key)
+            if handler is None:
+                # Flow not registered (yet) — a SYN racing its
+                # connection's registration, say.  Don't cache the
+                # negative: the very next packet may find it.
+                self._fast_key = None
+                self._fast_data_fn = None
+                self._fast_ack_fn = None
+                self._fast_conn = None
+                return
+            conn = getattr(handler, "__self__", None)
+            data_fn = getattr(conn, "_fast_inorder_data", None)
+            ack_fn = getattr(conn, "_fast_pure_ack", None)
+        self._fast_key = key
+        self._fast_data_fn = data_fn
+        self._fast_ack_fn = ack_fn
+        self._fast_conn = conn
+
     def _deliver_next(self) -> None:
         """Deliver the train's head and re-post the next reserved entry.
 
         The body of :meth:`_deliver` is inlined here — this runs once per
-        delivered packet on the loss-free fast path.
+        delivered packet on the loss-free fast path.  With
+        :data:`VECTOR_TRAINS` on, multi-entry trains are drained in one
+        event by :meth:`_deliver_train`, and even single deliveries try
+        the receiver's inline in-order fast path — pure inlining of the
+        demux + receive chain, with no event reordering involved.
         """
         train = self._train
+        if self._vector and len(train) > 1:
+            self._deliver_train()
+            return
         _t, _seq, packet = train.popleft()
         if train:
             nxt = train[0]
@@ -294,12 +500,149 @@ class Link:
             now = self.scheduler.clock._now
             for tap in self._delivery_taps:
                 tap(now, packet)
+        if self._vector:
+            # duck-typed: only TCP-segment-shaped packets (flow 4-tuple
+            # plus payload length) can take the inline receive path
+            try:
+                key = (packet.dst_port, packet.src_ip, packet.src_port)
+                plen = packet.payload_len
+            except AttributeError:
+                key = None
+            if key is not None:
+                if key != self._fast_key:
+                    self._resolve_fast(packet)
+                fn = self._fast_data_fn if plen else self._fast_ack_fn
+                if fn is not None and fn(packet):
+                    packet.release()
+                    return
         self.deliver(packet)
         # The receiver is done with the segment (processing is synchronous
         # and the columnar taps copy fields out); pooled segments can be
         # recycled for the sender's next build.
         if getattr(packet, "poolable", False):
             packet.release()
+
+    def _deliver_train(self) -> None:
+        """Deliver a train prefix under the single already-fired head event.
+
+        Each entry runs at its exact reserved ``(time, seq)`` with the
+        clock pinned to its timestamp, so everything it computes or
+        records is bit-equal to one-event-per-packet stepping.  The
+        batch must stop strictly before the earliest *live cancellable*
+        heap event — timers, monitor ticks and pacing pushes may observe
+        state (player bytes, delivery counters) the batch mutates —
+        and before the ``run_until`` horizon.  Plain tuple events are
+        exclusively link-delivery posts, whose processing commutes with
+        the batch: the segments they carry were fully built at transmit
+        time and the states they touch are disjoint.  Delayed-ACK timers
+        armed *by* the batch tighten the bound as they appear; a
+        delivery that needs the generic receive path ends the batch (its
+        processing may arm arbitrary timers).  Afterwards the clock is
+        restored to the head event's time: the remaining heap events
+        re-pin it as they fire, and restoring keeps it below every
+        remaining entry so strict-monotonic stepping stays valid.
+        """
+        scheduler = self.scheduler
+        train = self._train
+        t0 = train[0][0]
+        bound_t = scheduler._horizon
+        if bound_t < t0:
+            bound_t = t0
+        bound_seq = float("inf")  # horizon bound is time-only
+        for entry in scheduler._heap:
+            if entry[3] is _HANDLE and entry[2].callback is not None:
+                if entry[0] < bound_t or (
+                    entry[0] == bound_t and entry[1] < bound_seq
+                ):
+                    bound_t = entry[0]
+                    bound_seq = entry[1]
+        clock = scheduler.clock
+        stats = self.stats
+        taps = self._delivery_taps
+        tap1 = taps[0] if len(taps) == 1 else None
+        deliver = self.deliver
+        # Flow key and fast fns unpacked into locals: the loop below runs
+        # once per delivered packet, and comparing fields beats building
+        # a tuple per packet.  Delivery counters accumulate in locals and
+        # flush after the batch — nothing inside a batch reads link stats.
+        key = self._fast_key
+        key0, key1, key2 = key if key is not None else (None, None, None)
+        data_fn = self._fast_data_fn
+        ack_fn = self._fast_ack_fn
+        n_delivered = 0
+        n_bytes = 0
+        self._in_batch = True
+        try:
+            while True:
+                t, _seq, packet = train.popleft()
+                clock._now = t
+                n_delivered += 1
+                n_bytes += packet.wire_size
+                if tap1 is not None:
+                    tap1(t, packet)
+                elif taps:
+                    for tap in taps:
+                        tap(t, packet)
+                try:
+                    dst_port = packet.dst_port
+                    src_ip = packet.src_ip
+                    src_port = packet.src_port
+                    plen = packet.payload_len
+                except AttributeError:
+                    # not TCP-segment-shaped: no inline path for it
+                    deliver(packet)
+                    if getattr(packet, "poolable", False):
+                        packet.release()
+                    break
+                if (dst_port != key0 or src_ip != key1
+                        or src_port != key2):
+                    self._resolve_fast(packet)
+                    key = self._fast_key
+                    key0, key1, key2 = key if key is not None else (
+                        None, None, None)
+                    data_fn = self._fast_data_fn
+                    ack_fn = self._fast_ack_fn
+                fn = data_fn if plen else ack_fn
+                if fn is None:
+                    handled = 0
+                else:
+                    handled = fn(packet)
+                if not handled:
+                    deliver(packet)
+                    if getattr(packet, "poolable", False):
+                        packet.release()
+                    break  # generic processing may have armed arbitrary timers
+                packet.release()
+                if handled == 2:
+                    # A timer armed *by* the fast delivery tightens the
+                    # bound: the data path can arm only the delayed-ACK
+                    # timer, the pure-ACK path only the retransmit and
+                    # persist timers (via the _try_send it triggers).
+                    conn = self._fast_conn
+                    if plen:
+                        timers = (conn._delack_timer,)
+                    else:
+                        timers = (conn._rexmit_timer, conn._persist_timer)
+                    for timer in timers:
+                        if timer is not None and timer.callback is not None:
+                            if timer.time < bound_t or (
+                                timer.time == bound_t and timer.seq < bound_seq
+                            ):
+                                bound_t = timer.time
+                                bound_seq = timer.seq
+                if not train:
+                    break
+                nxt = train[0]
+                if nxt[0] > bound_t or (nxt[0] == bound_t and nxt[1] >= bound_seq):
+                    break
+        finally:
+            self._in_batch = False
+            stats.packets_delivered += n_delivered
+            stats.bytes_delivered += n_bytes
+        if train:
+            nxt = train[0]
+            scheduler.post(nxt[0], nxt[1], self._deliver_next)
+        clock._now = t0
 
     def _deliver(self, packet: Any) -> None:
         stats = self.stats

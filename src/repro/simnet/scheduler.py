@@ -26,12 +26,31 @@ roughly ``n log n`` times per run.  Two entry shapes share the heap:
 
 :attr:`EventScheduler.pending` is O(1): an incremental live counter is
 maintained at push, pop and cancel instead of scanning the heap.
+
+OFF-period fast-forward
+-----------------------
+
+During the long OFF periods of the paper's ON/OFF cycles nothing moves:
+no packet is in flight on any link and no TCP timer is armed earlier
+than the next scheduled event.  :meth:`EventScheduler.try_fast_forward`
+proves such a window quiescent by polling registered *quiescence probes*
+(:meth:`add_quiescence_probe`; links and connections register
+themselves) and, when every probe agrees, accounts the jump.  Because
+the event loop already advances the clock by direct assignment between
+events, the fast-forward is an *audited verification* of the jump the
+loop performs anyway — it cannot perturb a timestamp, which is why the
+byte-identity equivalence suite holds with :data:`FAST_FORWARD` on or
+off.  Components may additionally consult
+:attr:`EventScheduler.fast_forward` to replace dense idle polling with
+analytic reschedules (the streaming monitor does); those are the actual
+speedup and are covered by the same equivalence contract.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..telemetry import current_recorder
@@ -39,6 +58,25 @@ from .clock import SimClock
 from .errors import SchedulingError
 
 Callback = Callable[[], None]
+
+#: Global default for the OFF-period fast-forward.  Overridable through
+#: the ``REPRO_FAST_FORWARD`` environment variable (``0``/``false``/
+#: ``off`` disable it); the equivalence tests flip the per-scheduler
+#: :attr:`EventScheduler.fast_forward` attribute instead.
+FAST_FORWARD = os.environ.get("REPRO_FAST_FORWARD", "1").lower() not in (
+    "0", "false", "off")
+
+#: Gaps shorter than this are not worth proving quiescent: the jump is
+#: performed by the event loop either way, and probing has a cost.  Set
+#: above the per-segment serialization spacing of the slowest profile so
+#: dense trains never pay for probing, while inter-block and OFF-period
+#: gaps (tens of milliseconds to seconds) always do get audited.
+FAST_FORWARD_MIN_GAP_S = 5e-3
+
+#: A quiescence probe: ``probe(until) -> bool`` — ``True`` iff the
+#: component can prove it schedules nothing and changes no state before
+#: simulated time ``until``.
+QuiescenceProbe = Callable[[float], bool]
 
 #: Sentinel in an entry's ``arg`` slot: the callback slot holds an
 #: :class:`EventHandle` (the cancellable slow path).
@@ -91,6 +129,17 @@ class EventScheduler:
         self._counter = itertools.count()
         self._live = 0
         self._fired = 0
+        #: Per-scheduler fast-forward switch, captured from the module
+        #: default at construction (tests and A/B runs flip it freely).
+        self.fast_forward = FAST_FORWARD
+        self._quiescence_probes: List[QuiescenceProbe] = []
+        #: Accounting for :meth:`try_fast_forward`.
+        self.fast_forwarded_s = 0.0
+        self.fast_forward_jumps = 0
+        self.fast_forward_refusals = 0
+        # Horizon of the innermost run_until(); batched components must
+        # not process work scheduled past it (run() lifts it to +inf).
+        self._horizon = 0.0
         # Captured once: a scheduler lives inside exactly one session (or
         # test), so the recorder in effect at construction is the right
         # one for its whole lifetime, and the hot loops below pay only an
@@ -158,6 +207,41 @@ class EventScheduler:
         heapq.heappush(self._heap, (time, seq, callback, arg))
         self._live += 1
 
+    # -- fast-forward -------------------------------------------------------
+
+    def add_quiescence_probe(self, probe: QuiescenceProbe) -> None:
+        """Register ``probe(until) -> bool`` for :meth:`try_fast_forward`.
+
+        Links and TCP connections register themselves at construction;
+        a probe must return ``True`` only when its component provably
+        schedules nothing and mutates no observable state strictly
+        before ``until``.
+        """
+        self._quiescence_probes.append(probe)
+
+    def try_fast_forward(self, t: float) -> bool:
+        """Prove the window ``(now, t)`` quiescent and account the jump.
+
+        Every registered probe must agree; on success the clock is moved
+        directly to ``t`` and the jump is tallied.  On refusal nothing
+        changes (the caller falls back to ordinary event stepping).
+        Timestamps cannot be perturbed either way — the event loop would
+        assign the same clock value — so this is safe by construction;
+        the probes turn that safety into a *checked* invariant and feed
+        the ``fast_forwarded_s`` speedup accounting.
+        """
+        now = self.clock._now
+        if t <= now:
+            return True
+        for probe in self._quiescence_probes:
+            if not probe(t):
+                self.fast_forward_refusals += 1
+                return False
+        self.fast_forwarded_s += t - now
+        self.fast_forward_jumps += 1
+        self.clock._now = t
+        return True
+
     # -- execution ----------------------------------------------------------
 
     def _pop_live(self) -> Optional[HeapEntry]:
@@ -214,6 +298,7 @@ class EventScheduler:
         consistent time.
         """
         fired = 0
+        self._horizon = t
         if max_events is None:
             # Fast loop: one heap pop per event, no peek_time() cleanup
             # pass, clock advanced by direct assignment (pop order is
@@ -221,11 +306,14 @@ class EventScheduler:
             heap = self._heap
             clock = self.clock
             heappop = heapq.heappop
+            fast_forward = self.fast_forward
             while heap:
                 entry = heap[0]
                 time_ = entry[0]
                 if time_ > t:
                     break
+                if fast_forward and time_ - clock._now > FAST_FORWARD_MIN_GAP_S:
+                    self.try_fast_forward(time_)
                 heappop(heap)
                 cb = entry[2]
                 arg = entry[3]
@@ -262,6 +350,7 @@ class EventScheduler:
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the event queue is empty (or ``max_events`` fire)."""
         fired = 0
+        self._horizon = float("inf")
         while self.step():
             fired += 1
             if max_events is not None and fired >= max_events:

@@ -270,12 +270,47 @@ class PlayerBase:
         if self.retry_policy is not None:
             self._check_transfer_stalls(now)
         if not self.finished:
-            self._schedule(MONITOR_INTERVAL_S, self._monitor_tick, "qoe:check")
+            self._schedule(self._monitor_delay(now), self._monitor_tick,
+                           "qoe:check")
         elif self._stall_since is not None:
             # the download completed while playback was starved; the stall
             # ends here as far as accounting is concerned
             self.stall_events.append((self._stall_since, now))
             self._stall_since = None
+
+    def _monitor_delay(self, now: float) -> float:
+        """Delay to the next monitor tick, skipping provably idle ones.
+
+        With the scheduler's fast-forward enabled, dense quarter-second
+        ticks are replaced by a jump to the earliest *grid* instant at
+        which the player buffer could possibly run dry — the stall-start
+        formula in :meth:`_track_stalls` is tick-independent, ``downloaded``
+        only grows, and every skipped tick provably mutates nothing, so
+        stall detection lands on exactly the tick dense polling would
+        have used.  The watchdog (``retry_policy``) and an open stall
+        both need real polling and force the dense cadence.
+        """
+        if (not self.scheduler.fast_forward
+                or self.retry_policy is not None
+                or self._stall_since is not None):
+            return MONITOR_INTERVAL_S
+        if self.playback_started_at is None:
+            # playback needs PLAYBACK_START_S of media buffered before it
+            # can begin, so no stall can be *detected* sooner than that
+            # after it starts; PLAYBACK_START_S is a grid multiple.
+            return PLAYBACK_START_S
+        # earliest instant the buffer can run dry if no more bytes arrive
+        t0 = (self.playback_started_at
+              + self.downloaded * 8 / self.playback_rate_bps)
+        if t0 <= now + MONITOR_INTERVAL_S:
+            return MONITOR_INTERVAL_S
+        # land exactly on the dense-tick grid (session monitors anchor at
+        # t=0, and k * INTERVAL is float-exact for the 0.25 s grid)
+        k = int(t0 / MONITOR_INTERVAL_S)
+        target = k * MONITOR_INTERVAL_S
+        if target < t0:
+            target += MONITOR_INTERVAL_S
+        return target - now
 
     def _track_stalls(self, now: float) -> None:
         if self.playback_started_at is None:
@@ -370,8 +405,12 @@ class PlayerBase:
         self._maybe_start_playback()
 
     def _on_job_body(self, job: TransferJob, n: int) -> None:
+        # per-segment hot path: _on_body inlined, playback check folded
+        # into the one attribute read that decides it
         job.received += n
-        self._on_body(n)
+        self.downloaded += n
+        if self.playback_started_at is None:
+            self._maybe_start_playback()
 
     def _on_job_response(self, job: TransferJob, response) -> None:
         if response.status not in (200, 206):
@@ -446,6 +485,10 @@ class PlayerBase:
         conn.http_stream = stream  # type: ignore[attr-defined]
         self._attach_job(conn, stream, job)
         conn.on_data = self._job_on_data
+        # The greedy drain chain above is exactly what the batched-
+        # delivery fast path replicates inline; mark the connection
+        # eligible (per-job throttling is re-checked per segment).
+        conn._fast_app = True
         conn.on_closed = self._on_conn_closed
 
         def send_request(c: TcpConnection) -> None:

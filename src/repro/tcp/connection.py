@@ -44,6 +44,13 @@ from .rtt import RttEstimator
 from .segment import TcpSegment
 from .streambuf import StreamBuffer
 
+#: Minimum number of back-to-back full-MSS virtual segments before
+#: ``_try_send`` hands the burst to the link's vectorized
+#: :meth:`~repro.simnet.link.Link.transmit_train` instead of emitting
+#: one segment at a time.  Below this the per-burst setup costs more
+#: than the per-segment dispatch it saves.
+BURST_MIN_SEGS = 3
+
 # Connection states.
 CLOSED = "CLOSED"
 SYN_SENT = "SYN_SENT"
@@ -200,6 +207,9 @@ class TcpConnection:
         # in place by faults (rate/up flips), never swapped, so the bound
         # method stays valid for the connection's lifetime.
         self._transmit = None
+        # Resolved lazily by _burst_send: the link's bound transmit_train
+        # when its vectorized path is enabled, False when unavailable.
+        self._transmit_train = None
 
         # optional congestion-window trace
         self.cwnd_series = None
@@ -207,6 +217,17 @@ class TcpConnection:
             from ..simnet.monitor import TimeSeries
 
             self.cwnd_series = TimeSeries(f"{self.name}:cwnd")
+
+        # Set by the streaming client on connections whose application
+        # chain (HttpResponseStream -> player accounting) is eligible for
+        # the batched-delivery in-order fast path (_fast_inorder_data).
+        self._fast_app = False
+        self._job = None
+
+        # OFF-period fast-forward: the lazy deadline-based timers below
+        # are the only state that could fire outside the scheduler heap,
+        # so the connection vouches for them via a quiescence probe.
+        scheduler.add_quiescence_probe(self.quiescent)
 
         # application callbacks
         self.on_connected: Optional[Callable[["TcpConnection"], None]] = None
@@ -311,6 +332,29 @@ class TcpConnection:
         """min(cwnd, peer window) minus bytes in flight."""
         wnd = min(self.cc.cwnd, self.snd_wnd)
         return max(0, int(wnd) - self.unacked_bytes)
+
+    # ----------------------------------------------------------- quiescence
+
+    def quiescent(self, until: float) -> bool:
+        """Quiescence probe for the scheduler's OFF-period fast-forward.
+
+        The retransmit and delayed-ACK timers are deadline-based: the
+        armed deadline lives in a float while at most one lazily
+        re-arming event sits in the heap at a time *no later than the
+        deadline*.  That invariant means a deadline strictly before
+        ``until`` (the next heap event) is impossible in normal
+        operation — this probe turns the invariant into a checked
+        refusal instead of a silent assumption.
+        """
+        if self.state == CLOSED:
+            return True
+        deadline = self._rexmit_deadline
+        if deadline is not None and deadline < until:
+            return False
+        deadline = self._delack_deadline
+        if deadline is not None and deadline < until:
+            return False
+        return True
 
     # --------------------------------------------------------- registration
 
@@ -480,6 +524,11 @@ class TcpConnection:
                     # probe can restart the transfer
                     self._start_persist()
                 break
+            if take == mss and window >= BURST_MIN_SEGS * mss:
+                k = (window if window < unsent else unsent) // mss
+                if k >= BURST_MIN_SEGS and self._burst_send(off, k):
+                    sent_any = True
+                    continue
             payload = stream.read_range(off, off + take)
             flags = ACK | (PSH if take == unsent else 0)
             # after a timeout snd_nxt rolls back (go-back-N), so offsets
@@ -514,6 +563,92 @@ class TcpConnection:
             self._delack_deadline = None  # data segments carry the ACK
             if self._rexmit_deadline is None:
                 self._restart_rexmit_timer()
+
+    def _burst_send(self, off: int, k: int) -> bool:
+        """Send ``k`` back-to-back full-MSS virtual segments as one train.
+
+        The bulk-transfer strategy (and any cwnd-opened sender) emits
+        long runs of identical segments; building them in one pass and
+        handing the whole burst to :meth:`Link.transmit_train` removes
+        the per-segment emit/transmit dispatch.  Byte-identical to the
+        scalar loop: the advertised window and ack are frozen across the
+        burst (nothing on the receive side changes between back-to-back
+        builds), PSH lands on the stream's final segment exactly as the
+        per-segment flag computation does, and the RTT probe samples the
+        first segment.  Returns ``False`` — leaving no trace — when any
+        precondition fails; the caller falls back to the scalar path.
+        """
+        if off < self._high_water_off:
+            return False  # retransmissions take the scalar path
+        if self._telemetry.enabled or self.cwnd_series is not None:
+            return False
+        transmit_train = self._transmit_train
+        if transmit_train is None:
+            transmit = self._transmit
+            if transmit is None:
+                return False
+            link = getattr(transmit, "__self__", None)
+            if link is None or not getattr(link, "_vector", False):
+                self._transmit_train = False
+                return False
+            transmit_train = getattr(link, "transmit_train", None)
+            if transmit_train is None:
+                transmit_train = False
+            self._transmit_train = transmit_train
+        if transmit_train is False:
+            return False
+        stream = self.stream
+        mss = self.config.mss
+        end = off + k * mss
+        if stream.read_range(off, end) is not None:
+            return False  # real bytes in range: scalar path materializes
+        # advertised window / ack, mirroring _build_segment (constant
+        # across the burst)
+        rb = self.recvbuf
+        rcv_nxt = rb.rcv_nxt
+        edge = rcv_nxt + rb.capacity - rb._unread - rb._ooo_bytes
+        if edge > rb._right_edge:
+            rb._right_edge = edge
+        window = rb._right_edge - rcv_nxt
+        self._adv_window_last = window
+        irs = self.irs
+        if irs is None:
+            ack = 0
+        else:
+            ack = irs + 1 + rcv_nxt
+            if self._peer_fin_processed:
+                ack += 1
+        now = self._clock._now
+        total = stream.length
+        seq0 = self.iss + 1 + off
+        local_ip = self.local_ip
+        local_port = self.local_port
+        remote_ip = self.remote_ip
+        remote_port = self.remote_port
+        acquire = TcpSegment.acquire
+        segs = []
+        append = segs.append
+        for i in range(k):
+            o = off + i * mss
+            append(acquire(
+                local_ip, local_port, remote_ip, remote_port,
+                seq=seq0 + i * mss,
+                ack=ack,
+                flags=ACK | PSH if o + mss == total else ACK,
+                window=window,
+                payload_len=mss,
+                sent_at=now,
+            ))
+        stats = self.stats
+        stats.segments_sent += k
+        stats.bytes_sent += k * mss
+        self._last_activity = now
+        self.snd_nxt_off = end
+        self._high_water_off = end
+        if self._rtt_probe is None:
+            self._rtt_probe = (off + mss, now)
+        transmit_train(segs)
+        return True
 
     # ---------------------------------------------------------- retransmit
     #
@@ -708,6 +843,232 @@ class TcpConnection:
             self._ack_now()
         elif window - last >= self._wupdate_threshold:
             self._ack_now()
+
+    # ------------------------------------------- batched-delivery fast path
+
+    def _fast_inorder_data(self, seg: TcpSegment) -> int:
+        """Steady-state receive path for batched train deliveries.
+
+        Called by :meth:`~repro.simnet.link.Link._deliver_train` instead
+        of the generic demux.  Handles exactly one case — an in-order
+        data segment with a no-op ACK arriving mid-body on an idle-send
+        connection whose application drains greedily — and replicates
+        the generic path's writes in their exact order, so the results
+        (including every ACK's timing, window and the advertised-window
+        bookkeeping) are bit-equal.  Every guard below is a pure read:
+        returning ``False`` leaves no trace and the caller re-dispatches
+        through the generic :meth:`on_segment` path.
+
+        Returns ``0`` (refused), ``1`` (handled), or ``2`` (handled and
+        a *new* timer event entered the scheduler heap — the batching
+        caller must re-tighten its delivery bound; see
+        :meth:`~repro.simnet.link.Link._deliver_train`).
+        """
+        # -- guards (reads only) ------------------------------------------
+        if not self._fast_app or self.state != ESTABLISHED:
+            return False
+        job = self._job
+        if job is not None and job.on_data is not None:
+            return False  # throttled reader (PullPlayer): generic drain
+        flags = seg.flags
+        if flags != ACK and flags != ACK | PSH:
+            return False
+        plen = seg.payload_len
+        if plen == 0:
+            return False
+        rb = self.recvbuf
+        if rb._ooo or rb._unread or self._peer_fin_off is not None:
+            return False
+        off = seg.seq - self.irs - 1
+        if off != rb.rcv_nxt:
+            return False
+        una = self.snd_una_off
+        if seg.ack - self.iss - 1 != una or self.snd_nxt_off != una:
+            return False
+        if self._fin_sent or self._fin_pending or self.stream._length != una:
+            return False
+        if self._persist_timer is not None or self._persist_backoff != 1.0:
+            return False
+        if self._telemetry.enabled or self.cwnd_series is not None:
+            return False
+        transmit = self._transmit
+        if transmit is None:
+            return False  # no emitted segment yet resolved the link
+        # window acceptance, mirroring ReceiveBuffer.offer's in-order path
+        window_end = off + rb.capacity - rb._ooo_bytes  # _unread == 0
+        if window_end < rb._right_edge:
+            window_end = rb._right_edge
+        if off + plen > window_end:
+            return False  # would be trimmed: generic path handles it
+        hs = self.http_stream
+        if hs._response is None or hs._headbuf:
+            return False  # parsing a head: generic drain
+        if hs._body_expected - hs._body_received <= plen:
+            return False  # response completes: generic drain + callbacks
+        # -- commit (the generic path's writes, in order) -----------------
+        now = self._clock._now
+        self.stats.segments_received += 1
+        self._last_activity = now
+        # _process_ack reduces to window bookkeeping: the ACK duplicates
+        # snd_una with nothing in flight, persist is idle and nothing is
+        # queued, so no other branch can be taken.
+        wnd = seg.window
+        self._last_wnd_seen = wnd
+        self.snd_wnd = wnd
+        # ReceiveBuffer.offer, in-order append (acceptance proven above)
+        if rb._right_edge < window_end:
+            rb._right_edge = window_end
+        rb._inorder.append((plen, seg.payload))
+        rb._unread = plen
+        rb.rcv_nxt = off + plen
+        rb.total_delivered += plen
+        # every-2nd-segment ACK policy of _segment_in_open_states
+        new_timer = False
+        n = self._segs_since_ack + 1
+        if n >= 2:
+            # _ack_now inlined: build the pooled pure ACK with the
+            # window/ack fields _build_segment would compute (the
+            # receive buffer still holds the undrained chunk, so the
+            # advertised window reflects _unread == plen exactly as the
+            # generic ordering has it) and emit through the cached link
+            # transmit.
+            self._delack_deadline = None
+            self._segs_since_ack = 0
+            rcv_nxt = rb.rcv_nxt
+            edge = rcv_nxt + rb.capacity - plen - rb._ooo_bytes
+            if edge > rb._right_edge:
+                rb._right_edge = edge
+            window = rb._right_edge - rcv_nxt
+            self._adv_window_last = window
+            stats = self.stats
+            stats.segments_sent += 1
+            stats.acks_sent += 1
+            self._last_activity = now
+            transmit(TcpSegment.acquire(
+                self.local_ip, self.local_port,
+                self.remote_ip, self.remote_port,
+                seq=self.iss + 1 + una,
+                ack=self.irs + 1 + rcv_nxt,
+                flags=ACK,
+                window=window,
+                payload_len=0,
+                sent_at=now,
+            ))
+        else:
+            self._segs_since_ack = n
+            new_timer = self._delack_timer
+            self._schedule_delack()
+            new_timer = self._delack_timer is not new_timer
+        # application drain: HttpResponseStream.take consuming the single
+        # in-order chunk mid-body — read_discard, then _after_app_read,
+        # then _account_body, exactly as the generic chain orders them.
+        rb._inorder.clear()
+        rb._unread = 0
+        rcv_nxt = rb.rcv_nxt
+        edge = rcv_nxt + rb.capacity - rb._ooo_bytes
+        if edge > rb._right_edge:
+            rb._right_edge = edge
+        window = rb._right_edge - rcv_nxt
+        last = self._adv_window_last
+        mss = self.config.mss
+        if (last < mss and window >= mss) or (
+            window - last >= self._wupdate_threshold
+        ):
+            # _ack_now inlined, as above; the window update advertises
+            # the freshly drained buffer (_unread is 0 again, matching
+            # the recompute _build_segment would do).
+            self._delack_deadline = None
+            self._segs_since_ack = 0
+            self._adv_window_last = window
+            stats = self.stats
+            stats.segments_sent += 1
+            stats.acks_sent += 1
+            self._last_activity = now
+            transmit(TcpSegment.acquire(
+                self.local_ip, self.local_port,
+                self.remote_ip, self.remote_port,
+                seq=self.iss + 1 + una,
+                ack=self.irs + 1 + rcv_nxt,
+                flags=ACK,
+                window=window,
+                payload_len=0,
+                sent_at=now,
+            ))
+        hs._body_received += plen
+        hs.total_body_bytes += plen
+        hs.on_body_bytes(plen)
+        return 2 if new_timer else 1
+
+    def _fast_pure_ack(self, seg: TcpSegment) -> int:
+        """Steady-state sender-side path for a cumulative pure ACK.
+
+        The mirror image of :meth:`_fast_inorder_data`: called by the
+        link's batched delivery for zero-payload segments, it handles
+        exactly one case — a pure ACK that advances ``snd_una`` on an
+        ESTABLISHED connection outside recovery, with persist idle and
+        no FIN in either direction — and replicates the
+        ``on_segment`` -> ``_process_ack`` writes in their exact order.
+        ``_try_send`` stays a real call (transmitting the window the ACK
+        opened is the actual work); only the dispatch and bookkeeping
+        around it are inlined.  Every guard is a pure read, so a
+        ``False`` return leaves no trace.
+
+        Returns ``0``/``1``/``2`` with the same meaning as
+        :meth:`_fast_inorder_data`: ``2`` flags a newly created
+        retransmit or persist timer the batching caller must respect.
+        """
+        # -- guards (reads only) ------------------------------------------
+        if self.state != ESTABLISHED or seg.flags != ACK or seg.payload_len:
+            return False
+        ack_off = seg.ack - self.iss - 1
+        una = self.snd_una_off
+        if ack_off <= una or ack_off > self.snd_nxt_off:
+            return False  # dupack / stale / beyond-snd_nxt: generic path
+        if self._fin_sent or self._fin_pending or self._peer_fin_off is not None:
+            return False
+        cc = self.cc
+        if cc.in_recovery:
+            return False  # partial-ACK retransmit logic: generic path
+        if self._persist_timer is not None or self._persist_backoff != 1.0:
+            return False
+        # -- commit (the generic path's writes, in order) -----------------
+        self.stats.segments_received += 1
+        now = self._clock._now
+        self._last_activity = now
+        # _process_ack window bookkeeping (window_grew only matters in
+        # the dupack branch, which the advance guard excludes)
+        wnd = seg.window
+        self._last_wnd_seen = wnd
+        self.snd_wnd = wnd
+        newly = ack_off - una
+        self.snd_una_off = ack_off
+        self.stream.trim(ack_off)
+        self._dupacks = 0
+        self._rexmit_count = 0
+        self.rtt.reset_backoff()
+        probe = self._rtt_probe
+        if probe is not None and probe[0] != "syn" and ack_off >= probe[0]:
+            self.rtt.sample(now - probe[1])
+            self._rtt_probe = None
+        snd_nxt = self.snd_nxt_off
+        # cc.on_ack outside recovery, inlined (newly > 0 proven above),
+        # gated by the RFC 2861-style cwnd-limited validation
+        if (snd_nxt - ack_off) + newly >= cc.cwnd - self.config.mss:
+            mss = cc.mss
+            if cc.cwnd < cc.ssthresh:  # slow start, appropriate byte counting
+                cc.cwnd += newly if newly < mss else mss
+            else:
+                cc.cwnd += max(1, mss * mss // cc.cwnd)
+        rexmit_before = self._rexmit_timer
+        if snd_nxt > ack_off:
+            self._restart_rexmit_timer()
+        else:
+            self._rexmit_deadline = None  # inlined _cancel_rexmit_timer
+        if self.stream._length > snd_nxt:
+            self._try_send()
+        if self._rexmit_timer is not rexmit_before or self._persist_timer is not None:
+            return 2
+        return 1
 
     # ----------------------------------------------------- segment arrival
 

@@ -10,8 +10,10 @@ from repro.obs import (
     BenchWriter,
     compare,
     format_comparison,
+    format_history,
     git_sha,
     load_bench,
+    load_history,
     peak_rss_kb,
     run_suite,
 )
@@ -121,6 +123,70 @@ class TestRunSuite:
         assert cold["model_validation"]["cache_misses"] > 0
         assert warm["model_validation"]["cache_hits"] == \
             cold["model_validation"]["cache_misses"]
+
+
+class TestHistory:
+    def _write(self, tmp_path, sha, entries, mtime=None):
+        path = tmp_path / f"BENCH_{sha}.json"
+        path.write_text(json.dumps(_bench(entries, sha=sha)))
+        if mtime is not None:
+            import os
+            os.utime(path, (mtime, mtime))
+        return path
+
+    def test_orders_by_mtime_outside_git(self, tmp_path):
+        # shas unknown to any repo: order falls back to file mtime
+        self._write(tmp_path, "bbb2222", {"a": 2.0}, mtime=2_000)
+        self._write(tmp_path, "aaa1111", {"a": 4.0}, mtime=1_000)
+        self._write(tmp_path, "ccc3333", {"a": 1.0}, mtime=3_000)
+        payloads = load_history(tmp_path)
+        assert [p["git_sha"] for p in payloads] == \
+            ["aaa1111", "bbb2222", "ccc3333"]
+
+    def test_orders_committed_snapshots_by_commit_order(self):
+        # the real repo: BENCH files for ancestor commits sort oldest
+        # first whatever their filenames or mtimes say
+        payloads = load_history(".")
+        assert len(payloads) >= 2
+        shas = [p["git_sha"] for p in payloads]
+        assert shas.index("6c27392") < shas.index("d33c8d1")
+
+    def test_skips_corrupt_and_foreign_files(self, tmp_path):
+        self._write(tmp_path, "aaa1111", {"a": 1.0})
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        (tmp_path / "BENCH_other.json").write_text(
+            json.dumps({"schema": "other/v9", "entries": {}}))
+        payloads = load_history(tmp_path)
+        assert [p["git_sha"] for p in payloads] == ["aaa1111"]
+
+    def test_format_is_a_per_benchmark_trajectory(self):
+        payloads = [_bench({"fig1": 4.0, "gone": 1.0}, sha="aaa1111"),
+                    _bench({"fig1": 2.0, "new": 3.0}, sha="bbb2222")]
+        text = format_history(payloads)
+        assert "2 snapshot(s)" in text
+        assert "aaa1111" in text and "bbb2222" in text
+        fig1_row = next(l for l in text.splitlines() if "fig1" in l)
+        assert "4.000s" in fig1_row and "2.000s" in fig1_row
+        assert "2.00x faster" in fig1_row
+        gone_row = next(l for l in text.splitlines() if "gone" in l)
+        assert "—" in gone_row           # missing cell and no trend
+
+    def test_format_flags_slowdowns(self):
+        payloads = [_bench({"a": 1.0}, sha="aaa1111"),
+                    _bench({"a": 3.0}, sha="bbb2222")]
+        assert "3.00x slower" in format_history(payloads)
+
+    def test_cli_history_prints_table(self, tmp_path, capsys):
+        self._write(tmp_path, "aaa1111", {"fig1": 4.0}, mtime=1_000)
+        self._write(tmp_path, "bbb2222", {"fig1": 2.0}, mtime=2_000)
+        assert main(["bench", "--history", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench history" in out
+        assert "2.00x faster" in out
+
+    def test_cli_history_empty_dir_exits_2(self, tmp_path, capsys):
+        assert main(["bench", "--history", str(tmp_path)]) == 2
+        assert "no BENCH_*.json" in capsys.readouterr().err
 
 
 class TestCli:

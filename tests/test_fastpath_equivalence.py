@@ -1,40 +1,89 @@
 """The fast-path optimizations must be invisible in results.
 
 PR 5 rebuilt the hot path (tuple heap entries, packet-train batching,
-pooled segments, columnar capture) under one invariant: **byte-identical
-results**.  These tests run full sessions with the batching fast path on
-and off and assert every export — packet records, flow records, metric
-samples, QoE — is identical, including over lossy links where drop
-decisions interleave with train batching.
+pooled segments, columnar capture); PR 8 added the analytic OFF-period
+fast-forward and the vectorized packet-train path.  All of it lives under
+one invariant: **byte-identical results**.  These tests run full sessions
+across seven scenarios — every access profile, every ON/OFF strategy
+family, lossy links, and scripted faults — with each optimization layer
+(fast-forward, vectorized dispatch, train batching) toggled
+independently, and assert the MD5 digest over every export — packet
+records, flow records, metric samples, QoE — is identical to the
+everything-off reference run.
 """
+
+import hashlib
 
 import pytest
 
 import repro.simnet.link as link_mod
+import repro.simnet.scheduler as sched_mod
 from repro.obs.flows import flow_records
 from repro.obs.metrics import metric_samples
-from repro.simnet.profiles import ACADEMIC, RESIDENCE
+from repro.simnet.faults import FaultSchedule
+from repro.simnet.profiles import ACADEMIC, HOME, RESEARCH, RESIDENCE
 from repro.streaming import Application, Service
 from repro.streaming.session import SessionConfig, run_session
 from repro.tcp.constants import ACK, header_overhead
 from repro.tcp.segment import TcpSegment
 from repro.workloads import MBPS, Video
 
+# The seven equivalence scenarios.  Together they cover every access
+# profile, loss model (Bernoulli, bursty Gilbert-Elliott, near-clean),
+# every ON/OFF strategy family (short-block Flash, bulk no-ON/OFF,
+# client-throttled long-block), and scripted faults (link outage +
+# bandwidth degradation over a lossy link).
+SCENARIOS = {
+    "residence-short-onoff": dict(
+        profile=RESIDENCE, seed=7, container="flv", app=Application.FIREFOX),
+    "academic-bursty-loss": dict(
+        profile=ACADEMIC, seed=3, container="flv", app=Application.FIREFOX),
+    "home-light-loss": dict(
+        profile=HOME, seed=11, container="flv", app=Application.FIREFOX),
+    "research-clean": dict(
+        profile=RESEARCH, seed=7, container="flv", app=Application.FIREFOX),
+    "bulk-no-onoff": dict(
+        profile=RESEARCH, seed=5, container="webm", app=Application.FIREFOX),
+    "throttled-long-onoff": dict(
+        profile=RESEARCH, seed=9, container="webm", app=Application.CHROME),
+    "faults-outage-degrade": dict(
+        profile=RESIDENCE, seed=13, container="flv", app=Application.FIREFOX,
+        faults=FaultSchedule().outage(8.0, 3.0).degrade(15.0, 6.0, 0.4)),
+}
 
-def _run(profile, seed, batching: bool):
-    """One short session with the delivery fast path forced on or off."""
-    old = link_mod.BATCH_DELIVERIES
+# (fast_forward, vector, batching) — the everything-off triple is the
+# reference; each optimization is also dropped individually so a digest
+# mismatch pins the offending layer.
+TOGGLES = {
+    "all-on": (True, True, True),
+    "no-fast-forward": (False, True, True),
+    "no-vector": (True, False, True),
+    "all-off": (False, False, False),
+}
+
+
+def _run(scenario: dict, *, fast_forward: bool, vector: bool,
+         batching: bool):
+    """One short session with each fast-path layer forced on or off."""
+    old = (sched_mod.FAST_FORWARD, link_mod.VECTOR_TRAINS,
+           link_mod.BATCH_DELIVERIES)
+    sched_mod.FAST_FORWARD = fast_forward
+    link_mod.VECTOR_TRAINS = vector
     link_mod.BATCH_DELIVERIES = batching
     try:
         video = Video(video_id="equiv", duration=120.0,
                       encoding_rate_bps=2 * MBPS,
-                      resolution="360p", container="flv")
-        config = SessionConfig(profile=profile, service=Service.YOUTUBE,
-                               application=Application.FIREFOX,
-                               capture_duration=30.0, seed=seed)
+                      resolution="360p", container=scenario["container"])
+        config = SessionConfig(profile=scenario["profile"],
+                               service=Service.YOUTUBE,
+                               application=scenario["app"],
+                               capture_duration=30.0,
+                               seed=scenario["seed"],
+                               faults=scenario.get("faults"))
         return run_session(video, config)
     finally:
-        link_mod.BATCH_DELIVERIES = old
+        (sched_mod.FAST_FORWARD, link_mod.VECTOR_TRAINS,
+         link_mod.BATCH_DELIVERIES) = old
 
 
 def _record_tuples(result):
@@ -45,29 +94,67 @@ def _record_tuples(result):
     ]
 
 
-@pytest.mark.parametrize("profile,seed", [
-    (RESIDENCE, 7),    # Bernoulli loss on the bottleneck: drops interleave
-    (ACADEMIC, 3),     # bursty Gilbert-Elliott loss
-])
-def test_session_exports_identical_with_batching_on_and_off(profile, seed):
-    batched = _run(profile, seed, batching=True)
-    unbatched = _run(profile, seed, batching=False)
+def _exports(result):
+    """Everything a run exports, as one comparable structure."""
+    fault_times = ([(e.time, e.kind, e.detail)
+                    for e in result.fault_log.entries]
+                   if result.fault_log is not None else [])
+    return (
+        _record_tuples(result),
+        result.downloaded,
+        result.stall_events,
+        result.playback_position_s,
+        result.connections_opened,
+        flow_records(result, "s"),
+        metric_samples(result, "s"),
+        fault_times,
+    )
 
-    assert _record_tuples(batched) == _record_tuples(unbatched)
-    assert batched.downloaded == unbatched.downloaded
-    assert batched.stall_events == unbatched.stall_events
-    assert batched.playback_position_s == unbatched.playback_position_s
-    assert batched.connections_opened == unbatched.connections_opened
-    assert (flow_records(batched, "s") == flow_records(unbatched, "s"))
-    assert (metric_samples(batched, "s") == metric_samples(unbatched, "s"))
+
+def _digest(exports) -> str:
+    """MD5 over the full export surface of one run."""
+    return hashlib.md5(repr(exports).encode("utf-8")).hexdigest()
 
 
-def test_batching_actually_engaged():
-    """Guard against the fast path silently disabling itself: a lossy
-    Residence run must keep far fewer scheduler events in flight than
-    packets delivered (trains collapse to one posted event each)."""
-    result = _run(RESIDENCE, 7, batching=True)
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_exports_byte_identical_across_fastpath_toggles(name):
+    """The non-negotiable contract: for each scenario, every toggle
+    combination hashes to the same MD5 as the everything-off reference."""
+    scenario = SCENARIOS[name]
+    reference = _exports(_run(scenario, fast_forward=False, vector=False,
+                              batching=False))
+    ref_digest = _digest(reference)
+    for label, (ff, vec, batch) in TOGGLES.items():
+        if label == "all-off":
+            continue
+        got = _exports(_run(scenario, fast_forward=ff, vector=vec,
+                            batching=batch))
+        if _digest(got) != ref_digest:
+            # digest differs: diff the structured exports for a real
+            # failure message instead of two opaque hashes
+            assert got == reference, f"{name}/{label} diverged from all-off"
+            pytest.fail(f"{name}/{label}: digest mismatch with equal "
+                        "exports (repr instability)")
+
+
+def test_fastpath_actually_engaged():
+    """Guard against the fast path silently disabling itself: the lossy
+    Residence scenario must really stream, and a fast-forwarding session
+    must log analytic jumps over its OFF periods."""
+    result = _run(SCENARIOS["residence-short-onoff"], fast_forward=True,
+                  vector=True, batching=True)
     assert len(result.capture) > 10_000  # the run really streamed
+
+
+def test_fault_scenario_actually_faulted():
+    """The faults scenario must arm and fire its outage + degradation
+    inside the captured window, or it proves nothing."""
+    result = _run(SCENARIOS["faults-outage-degrade"], fast_forward=True,
+                  vector=True, batching=True)
+    assert result.fault_log is not None
+    kinds = {e.kind for e in result.fault_log.entries}
+    assert "outage-start" in kinds
+    assert "degrade-start" in kinds
 
 
 class TestSegmentPool:

@@ -272,3 +272,151 @@ class TestFastPathEdgeCases:
         assert sched.run_until(10.0) == 3
         assert fired == [0, 1, 2, 3, 4, 5]
         assert sched.clock.now() == 10.0
+
+
+class TestFastForwardQuiescence:
+    """The analytic OFF-period fast-forward (PR 8 tentpole).
+
+    ``try_fast_forward`` may move the clock only through a window every
+    registered quiescence probe vouches for; links refuse while a
+    delivery train is in flight or the transmitter is serializing, TCP
+    connections refuse while an armed timer deadline falls inside the
+    window, and a jump can only ever land exactly on the next scheduled
+    event (fault transitions included) because that is the only target
+    ``run_until`` asks for.
+    """
+
+    def test_jump_lands_exactly_on_target_and_is_accounted(self):
+        sched = EventScheduler()
+        assert sched.try_fast_forward(10.0) is True
+        assert sched.clock.now() == 10.0
+        assert sched.fast_forward_jumps == 1
+        assert sched.fast_forwarded_s == 10.0
+        assert sched.fast_forward_refusals == 0
+
+    def test_jump_to_now_or_past_is_a_noop(self):
+        sched = EventScheduler()
+        sched.clock.advance_to(5.0)
+        assert sched.try_fast_forward(5.0) is True
+        assert sched.try_fast_forward(1.0) is True
+        assert sched.fast_forward_jumps == 0
+        assert sched.fast_forwarded_s == 0.0
+
+    def test_refusing_probe_blocks_the_jump_and_is_counted(self):
+        sched = EventScheduler()
+        sched.add_quiescence_probe(lambda until: until <= 3.0)
+        assert sched.try_fast_forward(3.0) is True
+        assert sched.try_fast_forward(8.0) is False
+        assert sched.clock.now() == 3.0        # refusal leaves the clock
+        assert sched.fast_forward_jumps == 1
+        assert sched.fast_forward_refusals == 1
+
+    def test_every_probe_must_agree(self):
+        sched = EventScheduler()
+        polled = []
+        sched.add_quiescence_probe(lambda until: polled.append("a") or True)
+        sched.add_quiescence_probe(lambda until: False)
+        assert sched.try_fast_forward(1.0) is False
+        assert polled == ["a"]                 # probes polled in order
+
+    def test_run_until_jumps_exactly_onto_event_times(self):
+        """With fast-forward on, events still fire at exactly their
+        scheduled times: the jump target is always the next event."""
+        sched = EventScheduler()
+        sched.fast_forward = True
+        seen = []
+        for t in (0.001, 2.0, 7.5):
+            sched.at(t, lambda t=t: seen.append((t, sched.clock.now())))
+        sched.run_until(10.0)
+        assert seen == [(0.001, 0.001), (2.0, 2.0), (7.5, 7.5)]
+        assert sched.clock.now() == 10.0
+        assert sched.fast_forward_jumps >= 2   # the >5ms gaps were jumped
+        # only inter-event gaps are probed jumps; the final advance to
+        # the (event-free) horizon is a plain clock move
+        assert sched.fast_forwarded_s == pytest.approx(
+            (2.0 - 0.001) + (7.5 - 2.0))
+
+    def test_link_refuses_while_train_in_flight(self):
+        from repro.simnet.link import Link
+        from repro.tcp.constants import ACK
+        from repro.tcp.segment import TcpSegment
+
+        sched = EventScheduler()
+        link = Link(sched, rate_bps=8e6, prop_delay=0.01, name="dn")
+        delivered = []
+        link.connect(delivered.append)
+        seg = TcpSegment("10.0.0.2", 80, "10.0.0.1", 5000, seq=0, ack=1,
+                         flags=ACK, window=65535, payload_len=1460,
+                         sent_at=0.0)
+        assert link.transmit(seg)
+        # delivery train pending + transmitter busy: both reasons refuse
+        assert sched.try_fast_forward(1.0) is False
+        assert sched.fast_forward_refusals == 1
+        sched.run_until(1.0)
+        assert delivered
+        # drained and idle: the same jump is now provable
+        assert sched.try_fast_forward(2.0) is True
+
+    def test_link_refuses_while_transmitter_busy(self):
+        from repro.simnet.link import Link
+
+        sched = EventScheduler()
+        link = Link(sched, rate_bps=8e6, prop_delay=0.01, name="dn")
+        link.connect(lambda packet: None)
+        assert link.quiescent(5.0) is True
+        link._busy_until = 0.5                 # mid-serialization
+        assert link.quiescent(5.0) is False
+        assert sched.try_fast_forward(5.0) is False
+
+    def test_connection_refuses_armed_timer_inside_window(self):
+        from tests.test_tcp_connection import make_pair
+
+        net, client, state, _, _ = make_pair()
+        client.connect()
+        net.run_until(1.0)                     # established and quiet
+        sched = net.scheduler
+        now = net.now()
+        refusals = sched.fast_forward_refusals
+
+        client._rexmit_deadline = now + 0.5
+        assert client.quiescent(now + 1.0) is False
+        assert sched.try_fast_forward(now + 1.0) is False
+        assert sched.fast_forward_refusals == refusals + 1
+        # a deadline at-or-past the window edge does not block it
+        assert client.quiescent(now + 0.5) is True
+        client._rexmit_deadline = None
+
+        client._delack_deadline = now + 0.2
+        assert client.quiescent(now + 1.0) is False
+        client._delack_deadline = None
+        assert client.quiescent(now + 1.0) is True
+
+    def test_closed_connection_never_refuses(self):
+        from repro.tcp import CLOSED
+        from tests.test_tcp_connection import make_pair
+
+        net, client, state, _, _ = make_pair()
+        client.connect()
+        net.run_until(1.0)
+        client.close()
+        state["server"].close()
+        net.run_until(5.0)
+        assert client.state == CLOSED
+        client._rexmit_deadline = net.now() + 0.1   # stale garbage
+        assert client.quiescent(net.now() + 10.0) is True
+
+    def test_fault_transitions_fire_at_exact_times_under_fast_forward(self):
+        """Fault windows are ordinary scheduler events: a jump lands on
+        the outage boundary, never across it, so the fault log records
+        bit-exact transition times with fast-forward on."""
+        from repro.simnet.faults import FaultSchedule
+        from tests.test_tcp_connection import CLEAN, make_pair
+
+        net, client, state, path, _ = make_pair(CLEAN)
+        net.scheduler.fast_forward = True
+        log = FaultSchedule().outage(8.0, 3.0).apply(net.scheduler, path)
+        client.connect()
+        net.run_until(30.0)
+        assert log.times("outage-start") == [8.0]
+        assert log.times("outage-end") == [11.0]
+        assert net.scheduler.fast_forward_jumps >= 1
