@@ -14,9 +14,17 @@ Commands:
   force-disables caching even when ``$REPRO_CACHE_DIR`` is set.
 * ``profile <name>`` — run one experiment with telemetry enabled and
   print the per-phase flame-style breakdown, counters, histograms and
-  event summary (``--trace out.jsonl`` dumps the raw records).  The
-  experiment's own output is unchanged by recording; ``--report`` prints
-  it too.
+  event summary (``--trace out.jsonl`` dumps the raw records,
+  ``--trace-chrome out.json`` exports the span tree for
+  ``chrome://tracing`` / Perfetto).  The experiment's own output is
+  unchanged by recording; ``--report`` prints it too.
+* ``dash <name>`` — run an experiment under worker supervision with the
+  live multi-line health dashboard: one lane per worker (heartbeat age,
+  units/s, RSS, current unit) plus straggler/missed-beat flags.
+* ``report`` — render a campaign's run ledger (written by
+  ``--health``/``dash`` under ``--cache-dir``) into a self-contained
+  markdown or HTML report: timeline, per-worker utilization, unit
+  latency percentiles, failures and health suspicions.
 * ``bench`` — run a named experiment suite at a chosen scale and write a
   schema-versioned ``BENCH_<gitsha>.json`` perf snapshot (wall time,
   sessions/sec, peak RSS, cache hits/misses, telemetry span totals);
@@ -27,9 +35,11 @@ Commands:
   experiment registry as machine-readable JSON.
 
 The ``experiment`` command doubles as the campaign observatory:
-``--progress`` keeps a live status line on stderr, and ``--flows`` /
-``--metrics`` export per-session flow records and metric time-series
-(format chosen by file suffix: ``.jsonl``, ``.csv``, ``.prom``).
+``--progress`` keeps a live status line on stderr, ``--health`` turns
+on the engine health plane (heartbeats, straggler detection, run
+ledger), and ``--flows`` / ``--metrics`` export per-session flow
+records and metric time-series (format chosen by file suffix:
+``.jsonl``, ``.csv``, ``.prom``).
 
 It also scales: ``--sessions M --shards N`` re-dimensions a
 sharding-aware campaign (``model_validation``) to M total sessions split
@@ -46,6 +56,51 @@ import os
 import sys
 import time
 from typing import List, Optional
+
+
+def _add_campaign_args(p: argparse.ArgumentParser) -> None:
+    """The campaign flags ``experiment`` and ``dash`` share."""
+    p.add_argument("--scale", default="small",
+                   choices=["small", "medium", "full"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent sessions (default 1; "
+             "output is byte-identical for any N)")
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="memoize completed sessions under DIR "
+             "(default: $REPRO_CACHE_DIR if set, else no cache)")
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if $REPRO_CACHE_DIR is set")
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split the campaign into N deterministic shards run through "
+             "the supervised pool with streaming reduction (memory stays "
+             "O(shards); shard artifacts cache under --cache-dir)")
+    p.add_argument(
+        "--sessions", type=int, default=None, metavar="M",
+        help="re-dimension the campaign to M total sessions (sharding-"
+             "aware experiments only, e.g. model_validation; implies "
+             "--shards 1 unless given)")
+    p.add_argument(
+        "--resume", action="store_true",
+        help="continue a previous campaign: reuse its journal (requires "
+             "--cache-dir) and re-simulate only incomplete units; exports "
+             "stay byte-identical to an uninterrupted run")
+    p.add_argument(
+        "--max-attempts", type=int, default=1, metavar="N",
+        help="run each unit up to N times before quarantining it "
+             "(default 1 = fail fast; >1 enables worker supervision)")
+    p.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECS",
+        help="per-unit wall-clock deadline; a worker exceeding it is "
+             "killed and the unit retried (enables worker supervision)")
+    p.add_argument(
+        "--degrade", action="store_true",
+        help="complete the campaign even when units are quarantined, "
+             "reporting them instead of aborting (exit code 3)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -104,30 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate one of the paper's tables/figures")
     p_exp.add_argument("name", help="table1, fig2..fig12, table2, "
                                     "model_validation, or 'all'")
-    p_exp.add_argument("--scale", default="small",
-                       choices=["small", "medium", "full"])
-    p_exp.add_argument("--seed", type=int, default=0)
-    p_exp.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for independent sessions (default 1; "
-             "output is byte-identical for any N)")
-    p_exp.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="memoize completed sessions under DIR "
-             "(default: $REPRO_CACHE_DIR if set, else no cache)")
-    p_exp.add_argument(
-        "--no-cache", action="store_true",
-        help="disable the result cache even if $REPRO_CACHE_DIR is set")
-    p_exp.add_argument(
-        "--shards", type=int, default=None, metavar="N",
-        help="split the campaign into N deterministic shards run through "
-             "the supervised pool with streaming reduction (memory stays "
-             "O(shards); shard artifacts cache under --cache-dir)")
-    p_exp.add_argument(
-        "--sessions", type=int, default=None, metavar="M",
-        help="re-dimension the campaign to M total sessions (sharding-"
-             "aware experiments only, e.g. model_validation; implies "
-             "--shards 1 unless given)")
+    _add_campaign_args(p_exp)
     p_exp.add_argument(
         "--aggregate", default=None, metavar="FILE",
         help="export the campaign's merged aggregate statistics (moments "
@@ -137,6 +169,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="live single-line progress on stderr (done/total, rate, ETA, "
              "cache hits; default off)")
+    p_exp.add_argument(
+        "--health", action="store_true",
+        help="watch the supervised workers: heartbeats, straggler "
+             "detection and (with a cache dir) a run ledger for "
+             "`repro report` — report-only, results are unchanged")
     p_exp.add_argument(
         "--flows", default=None, metavar="FILE",
         help="export per-session flow records; format from the suffix "
@@ -149,23 +186,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--failures", default=None, metavar="FILE",
         help="export quarantined-unit failures (keys, errors, tracebacks) "
              "in the format implied by the suffix")
-    p_exp.add_argument(
-        "--resume", action="store_true",
-        help="continue a previous campaign: reuse its journal (requires "
-             "--cache-dir) and re-simulate only incomplete units; exports "
-             "stay byte-identical to an uninterrupted run")
-    p_exp.add_argument(
-        "--max-attempts", type=int, default=1, metavar="N",
-        help="run each unit up to N times before quarantining it "
-             "(default 1 = fail fast; >1 enables worker supervision)")
-    p_exp.add_argument(
-        "--unit-timeout", type=float, default=None, metavar="SECS",
-        help="per-unit wall-clock deadline; a worker exceeding it is "
-             "killed and the unit retried (enables worker supervision)")
-    p_exp.add_argument(
-        "--degrade", action="store_true",
-        help="complete the campaign even when units are quarantined, "
-             "reporting them instead of aborting (exit code 3)")
+
+    p_dash = sub.add_parser(
+        "dash",
+        help="run an experiment with the live worker-health dashboard")
+    p_dash.add_argument("name", help="an experiment name from `repro list`, "
+                                     "or 'all'")
+    _add_campaign_args(p_dash)
+    p_dash.add_argument(
+        "--beat-interval", type=float, default=None, metavar="SECS",
+        help="worker heartbeat period (default 1s); missed-beat "
+             "suspicion after two silent intervals")
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a campaign run ledger into markdown or HTML")
+    p_report.add_argument(
+        "name", nargs="?", default=None,
+        help="experiment whose ledger to load (with --cache-dir); "
+             "alternatively pass --ledger FILE")
+    p_report.add_argument("--scale", default="small",
+                          choices=["small", "medium", "full"])
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache root the campaign ran under "
+             "(default: $REPRO_CACHE_DIR if set)")
+    p_report.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="load this ledger file directly instead of resolving "
+             "name/scale/seed under the cache dir")
+    p_report.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the report here (.html/.htm renders HTML, anything "
+             "else markdown); default: print markdown to stdout")
+    p_report.add_argument(
+        "--bench", nargs="?", const=".", default=None, metavar="DIR",
+        help="append the BENCH_*.json perf trajectory found under DIR "
+             "(default: the cwd)")
 
     p_prof = sub.add_parser(
         "profile",
@@ -188,6 +246,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument(
         "--trace", default=None, metavar="FILE.jsonl",
         help="also dump every span/event/counter as JSON lines")
+    p_prof.add_argument(
+        "--trace-chrome", default=None, metavar="FILE.json",
+        help="dump the span tree as a Chrome trace-viewer JSON array "
+             "(load in chrome://tracing or Perfetto)")
     p_prof.add_argument(
         "--report", action="store_true",
         help="print the experiment's normal report before the profile "
@@ -392,7 +454,7 @@ def _supervision_policy(args):
     )
 
 
-def _cmd_experiment(args) -> int:
+def _cmd_experiment(args, dashboard: bool = False) -> int:
     from .analysis import format_table
     from .experiments import REGISTRY, SCALES
     from .runner import (
@@ -418,6 +480,14 @@ def _cmd_experiment(args) -> int:
               "$REPRO_CACHE_DIR", file=sys.stderr)
         return 2
     supervision = _supervision_policy(args)
+    health_on = dashboard or getattr(args, "health", False)
+    if health_on and supervision is None:
+        # heartbeats only exist under worker supervision; health without
+        # an explicit policy gets the default one (1 attempt, no timeout
+        # — behavior matches unsupervised runs, workers just beat)
+        from .runner import SupervisionPolicy
+
+        supervision = SupervisionPolicy()
     sharding = None
     if args.shards is not None or args.sessions is not None:
         from .runner import Sharding
@@ -429,7 +499,12 @@ def _cmd_experiment(args) -> int:
     observers = []
     progress = None
     collector = None
-    if args.progress:
+    if dashboard:
+        from .obs import DashboardReporter
+
+        progress = DashboardReporter(label="units")
+        observers.append(progress)
+    elif args.progress:
         from .obs import ProgressReporter
 
         progress = ProgressReporter()
@@ -441,6 +516,14 @@ def _cmd_experiment(args) -> int:
         # stay inside the shard workers, the parent only sees (and
         # merges) shard snapshots — which is all --aggregate needs
         collector = CampaignCollector()
+        observers.append(collector)
+    elif health_on and sharding is not None:
+        from .obs import CampaignCollector
+
+        # no exports asked for, but the ledger still wants one `merged`
+        # event per shard; streaming mode folds-and-drops, and on a
+        # sharded campaign the parent only ever sees shard snapshots
+        collector = CampaignCollector(streaming=True)
         observers.append(collector)
     observer = (CompositeRunObserver(*observers) if observers
                 else NULL_OBSERVER)
@@ -467,12 +550,31 @@ def _cmd_experiment(args) -> int:
                               f"{counts['failed']} failed, "
                               f"{counts['quarantined']} quarantined",
                               file=sys.stderr)
+                monitor = None
+                ledger = None
+                if health_on:
+                    from .obs import HealthMonitor, HealthPolicy, RunLedger
+
+                    if cache is not None:
+                        ledger = RunLedger.for_campaign(
+                            cache.root, name, scale.name, args.seed,
+                            fresh=not args.resume)
+                        ledger.event("campaign-started", experiment=name,
+                                     jobs=args.jobs, shards=args.shards,
+                                     sessions=args.sessions,
+                                     resume=True if args.resume else None)
+                    beat = getattr(args, "beat_interval", None)
+                    policy = (HealthPolicy(interval=beat)
+                              if beat is not None else None)
+                    monitor = HealthMonitor(policy, ledger=ledger)
+                if collector is not None:
+                    collector.ledger = ledger
                 started = time.perf_counter()
                 try:
                     result = spec.run(scale, seed=args.seed, jobs=args.jobs,
                                       cache=cache, stats=stats,
                                       journal=journal, failures=failures,
-                                      sharding=sharding)
+                                      sharding=sharding, health=monitor)
                 except CampaignAborted as exc:
                     aborted = True
                     report = f"{name}: campaign aborted — {exc.report.format()}"
@@ -505,6 +607,12 @@ def _cmd_experiment(args) -> int:
                 finally:
                     if journal is not None:
                         journal.close()
+                    if ledger is not None:
+                        ledger.event(
+                            "campaign-finished", experiment=name,
+                            elapsed_s=round(
+                                time.perf_counter() - started, 3))
+                        ledger.close()
                 elapsed = time.perf_counter() - started
                 report = result.report()
                 if not failures.ok:
@@ -573,6 +681,52 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_dash(args) -> int:
+    """``repro dash``: the experiment runner with the live health board.
+
+    Exactly ``repro experiment`` under the hood — same engine, caching,
+    sharding and supervision flags — with the multi-line
+    :class:`~repro.obs.DashboardReporter` and the health plane always
+    on (a worker-lane dashboard without heartbeats would be blank).
+    """
+    # the observability exports stay on the experiment command; the
+    # dashboard run only watches
+    args.progress = False
+    args.health = True
+    args.flows = None
+    args.metrics = None
+    args.failures = None
+    args.aggregate = None
+    return _cmd_experiment(args, dashboard=True)
+
+
+def _cmd_report(args) -> int:
+    from .obs import ledger_path, load_ledger, render_report, write_report
+
+    if args.ledger is not None:
+        path = args.ledger
+    else:
+        root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+        if args.name is None or not root:
+            print("repro report needs an experiment name plus a cache dir "
+                  "(--cache-dir or $REPRO_CACHE_DIR), or --ledger FILE",
+                  file=sys.stderr)
+            return 2
+        path = ledger_path(os.path.expanduser(root), args.name,
+                           args.scale, args.seed)
+    try:
+        view = load_ledger(path)
+    except (OSError, ValueError) as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        write_report(view, args.out, bench_dir=args.bench)
+        print(f"report written : {args.out}")
+    else:
+        print(render_report(view, bench_dir=args.bench), end="")
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from .experiments import REGISTRY, SCALES
     from .runner import RunStats
@@ -606,6 +760,12 @@ def _cmd_profile(args) -> int:
     if args.trace:
         n = write_jsonl(rec, args.trace)
         print(f"\ntrace written      : {args.trace} ({n} records)")
+    if args.trace_chrome:
+        from .telemetry import write_chrome_trace
+
+        n = write_chrome_trace(rec, args.trace_chrome)
+        print(f"\nchrome trace       : {args.trace_chrome} ({n} events; "
+              f"open in chrome://tracing or Perfetto)")
     return 0
 
 
@@ -732,6 +892,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stream(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "dash":
+        return _cmd_dash(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "bench":

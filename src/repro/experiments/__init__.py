@@ -70,6 +70,7 @@ class ExperimentSpec:
         journal=None,
         failures=None,
         sharding=None,
+        health=None,
     ):
         """Run the experiment with engine options installed ambiently.
 
@@ -82,11 +83,14 @@ class ExperimentSpec:
         :class:`~repro.runner.FailureReport` to accumulate into.
         ``sharding`` is a :class:`~repro.runner.Sharding` policy;
         sharding-aware experiments (``model_validation``) scale their
-        campaign to it, others ignore it.
+        campaign to it, others ignore it.  ``health`` is a
+        :class:`~repro.obs.health.HealthMonitor` watching the supervised
+        workers (report-only: results are identical with or without it).
         """
         with engine_options(jobs=jobs, cache=cache, stats=stats,
                             supervision=supervision, journal=journal,
-                            failures=failures, sharding=sharding):
+                            failures=failures, sharding=sharding,
+                            health=health):
             return self.module.run(scale, seed=seed)
 
 

@@ -19,6 +19,14 @@ a result, an analysis, or a cache fingerprint.  Three pillars:
   perf-regression tracker: run a suite, write a schema-versioned
   ``BENCH_<gitsha>.json``, and ``--compare`` two of them with a
   configurable regression threshold.
+* **Engine health** (:mod:`~repro.obs.health`, :mod:`~repro.obs.ledger`,
+  :mod:`~repro.obs.dash`, :mod:`~repro.obs.report`) — the campaign
+  control plane: per-worker heartbeats and straggler detection
+  (:class:`HealthMonitor`), an append-only JSONL run ledger
+  (:class:`RunLedger`), the live ``repro dash`` worker-lane dashboard,
+  and the post-hoc ``repro report`` renderer.  All of it observes the
+  supervised engine through the same default-off hook — health on or
+  off, exports stay byte-identical.
 
 See ``docs/OBSERVABILITY.md`` for formats and workflows.
 """
@@ -43,6 +51,7 @@ from .collect import (
     CampaignSnapshot,
     FAILURE_FIELDS,
 )
+from .dash import DashboardReporter
 from .exporters import (
     export_records,
     prometheus_lines,
@@ -51,8 +60,22 @@ from .exporters import (
     write_prometheus,
 )
 from .flows import FLOW_FIELDS, flow_records
+from .health import (
+    HealthMonitor,
+    HealthPolicy,
+    Suspicion,
+    WorkerLane,
+)
+from .ledger import (
+    LEDGER_SCHEMA,
+    LedgerView,
+    RunLedger,
+    ledger_path,
+    load_ledger,
+)
 from .metrics import METRIC_FIELDS, metric_samples
 from .progress import ProgressReporter
+from .report import render_html, render_report, write_report
 
 __all__ = [
     "AGGREGATE_FIELDS",
@@ -60,25 +83,38 @@ __all__ = [
     "BenchWriter",
     "CampaignCollector",
     "CampaignSnapshot",
+    "DashboardReporter",
     "FAILURE_FIELDS",
     "FLOW_FIELDS",
+    "HealthMonitor",
+    "HealthPolicy",
+    "LEDGER_SCHEMA",
+    "LedgerView",
     "METRIC_FIELDS",
     "ProgressReporter",
     "QUICK_SUITE",
     "Regression",
+    "RunLedger",
+    "Suspicion",
+    "WorkerLane",
     "compare",
     "export_records",
     "flow_records",
     "format_comparison",
     "format_history",
     "git_sha",
+    "ledger_path",
     "load_bench",
     "load_history",
+    "load_ledger",
     "metric_samples",
     "peak_rss_kb",
     "prometheus_lines",
+    "render_html",
+    "render_report",
     "run_suite",
     "write_csv",
     "write_jsonl",
     "write_prometheus",
+    "write_report",
 ]

@@ -67,6 +67,7 @@ FAILURE_FIELDS = (
     "error",
     "attempts",
     "final",
+    "worker",
     "traceback",
 )
 
@@ -297,12 +298,18 @@ class CampaignCollector(NullRunObserver):
     With ``streaming=True`` sessions are folded into the aggregate
     snapshot and dropped, so memory stays constant; per-session exports
     (flows/metrics) then raise, because the data they need is gone.
+
+    ``ledger`` (a :class:`~repro.obs.ledger.RunLedger`) records one
+    ``merged`` event per shard snapshot folded into the streaming
+    reduction — attribution for the reduce side of a sharded campaign.
+    Write-only, like everything else here: the collector never reads it.
     """
 
     enabled = True
 
-    def __init__(self, streaming: bool = False) -> None:
+    def __init__(self, streaming: bool = False, ledger=None) -> None:
         self.streaming = streaming
+        self.ledger = ledger
         self.sessions: List[Tuple[str, SessionResult]] = []
         self.failures: List[UnitFailure] = []
         self._aggregate = CampaignSnapshot()
@@ -346,6 +353,11 @@ class CampaignCollector(NullRunObserver):
                 self.collect(value)
             elif isinstance(value, ShardResult):
                 payload = value.value
+                if self.ledger is not None:
+                    self.ledger.event(
+                        "merged", campaign=value.shard.campaign,
+                        shard=value.shard.index, of=value.shard.of,
+                        units=value.shard.units)
                 if isinstance(payload, CampaignSnapshot):
                     self._aggregate.merge(payload)
                 elif (hasattr(payload, "moments")

@@ -71,6 +71,24 @@ def _prom_name(name: str) -> str:
     return _LABEL_SANITIZE.sub("_", name)
 
 
+def _prom_label_value(value) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format reserves inside quoted label values; anything else passes
+    through verbatim.  Without this, a session or video name like
+    ``ca"t.flv`` (hostile input, or just an odd catalog entry) produced
+    unparseable exposition lines.
+
+    >>> _prom_label_value('plain')
+    'plain'
+    >>> _prom_label_value('a"b\\\\c\\nd')
+    'a\\\\"b\\\\\\\\c\\\\nd'
+    """
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _prom_value(value) -> str:
     if isinstance(value, bool):
         return "1" if value else "0"
@@ -103,7 +121,7 @@ def prometheus_lines(records: Sequence[Dict], *, prefix: str = "repro",
             typed.add(name)
             lines.append(f"# TYPE {name} gauge")
         labels = ",".join(
-            f'{_prom_name(key)}="{record[key]}"'
+            f'{_prom_name(key)}="{_prom_label_value(record[key])}"'
             for key in label_keys if record.get(key) is not None
         )
         line = f"{name}{{{labels}}} {_prom_value(record[value_key])}"

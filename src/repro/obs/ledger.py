@@ -1,0 +1,255 @@
+"""The run ledger: an append-only event log of campaign lifecycle.
+
+The resume journal (:mod:`repro.runner.journal`) answers one question —
+*which units are settled?* — and deliberately forgets everything else.
+The ledger keeps what the journal drops: **when** each lifecycle
+transition happened and **which worker** it happened on, as a flat
+JSONL event stream that post-hoc tooling (``repro report``) can replay
+into timelines, per-worker utilization, and latency distributions.
+
+One file per campaign, written alongside the journal
+(``<cache_root>/ledger/<experiment>-<fingerprint>.jsonl``).  The first
+line is a schema-versioned header; every later line is one event::
+
+    {"schema": "repro-ledger/v1", "meta": {"experiment": "fig2", ...}}
+    {"seq": 0, "ts": 1754554000.21, "event": "campaign-started", ...}
+    {"seq": 1, "ts": 1754554000.23, "event": "scheduled", "units": 4, ...}
+    {"seq": 2, "ts": 1754554000.30, "event": "started", "unit": 0,
+     "worker": "w0", ...}
+
+Event kinds: ``campaign-started`` / ``campaign-finished`` (CLI scope),
+``scheduled`` (one per engine batch, after cache lookup), ``started`` /
+``done`` / ``retried`` / ``quarantined`` (per supervised unit, worker
+attributed), ``heartbeat-summary`` (periodic worker-lane snapshot),
+``suspect`` (health suspicion: missed-beat, straggler, worker-lost) and
+``merged`` (one per shard folded into the streaming reduction).
+
+The ledger obeys the obs invariant — it *watches*: nothing reads it
+back during a run, it never enters a cache fingerprint, and the loader
+(:func:`load_ledger`) tolerates the torn final line a killed writer
+leaves behind, exactly like the journal's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from ..runner.journal import campaign_fingerprint
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "LedgerView",
+    "RunLedger",
+    "ledger_path",
+    "load_ledger",
+]
+
+#: Schema identifier stamped into (and required of) every ledger file.
+LEDGER_SCHEMA = "repro-ledger/v1"
+
+#: Subdirectory of a cache root where run ledgers live (sibling of
+#: the resume journal's ``journal/``).
+LEDGER_DIRNAME = "ledger"
+
+
+def ledger_path(cache_root, experiment: str, scale: str, seed: int) -> Path:
+    """Where the ledger for one (experiment, scale, seed) campaign lives.
+
+    Named by the same :func:`~repro.runner.journal.campaign_fingerprint`
+    as the resume journal, so the two files for one campaign sit side by
+    side under the cache root.
+    """
+    fp = campaign_fingerprint(experiment, scale, seed)
+    return Path(cache_root) / LEDGER_DIRNAME / f"{experiment}-{fp}.jsonl"
+
+
+class RunLedger:
+    """Append-only JSONL event log for one campaign.
+
+    Events are sequence-numbered and wall-clock timestamped at append
+    time; each is flushed immediately, so a killed campaign keeps every
+    event up to the kill.  ``clock`` is injectable for deterministic
+    tests.
+    """
+
+    def __init__(self, path, *, meta: Optional[dict] = None,
+                 fresh: bool = False,
+                 clock: Callable[[], float] = time.time) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.clock = clock
+        self._seq = 0
+        if fresh and self.path.exists():
+            self.path.unlink()
+        existed = self.path.exists() and self.path.stat().st_size > 0
+        if existed:
+            # resumed campaign: keep appending, continue the sequence
+            view = load_ledger(self.path)
+            self._seq = (view.events[-1]["seq"] + 1) if view.events else 0
+        self._file = open(self.path, "a", encoding="utf-8")
+        # terminate a torn final line (same defence as the journal's)
+        if self._file.tell() > 0:
+            with open(self.path, "rb") as f:
+                f.seek(-1, os.SEEK_END)
+                if f.read(1) != b"\n":
+                    self._file.write("\n")
+                    self._file.flush()
+        if not existed:
+            self._append({"schema": LEDGER_SCHEMA, "meta": dict(meta or {})})
+
+    @classmethod
+    def for_campaign(cls, cache_root, experiment: str, scale: str,
+                     seed: int, *, fresh: bool = False) -> "RunLedger":
+        """The ledger for one campaign under a cache root; ``fresh=True``
+        discards any previous event log."""
+        meta = {"experiment": experiment, "scale": scale, "seed": seed}
+        return cls(ledger_path(cache_root, experiment, scale, seed),
+                   meta=meta, fresh=fresh)
+
+    def _append(self, record: dict) -> None:
+        self._file.write(json.dumps(record) + "\n")
+        self._file.flush()
+
+    def event(self, event: str, **fields: Any) -> None:
+        """Append one lifecycle event (``None``-valued fields dropped)."""
+        record: Dict[str, Any] = {"seq": self._seq,
+                                  "ts": round(self.clock(), 3),
+                                  "event": event}
+        record.update((k, v) for k, v in fields.items() if v is not None)
+        self._seq += 1
+        self._append(record)
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class LedgerView:
+    """A loaded ledger: header metadata plus the event list, with the
+    derived views ``repro report`` renders (counts, per-worker activity,
+    unit latencies, failures)."""
+
+    def __init__(self, schema: str, meta: dict, events: List[dict]) -> None:
+        self.schema = schema
+        self.meta = meta
+        self.events = events
+
+    def counts(self) -> Dict[str, int]:
+        """Events per kind, e.g. ``{"started": 13, "done": 12, ...}``."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            kind = event.get("event", "?")
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def span(self) -> Optional[tuple]:
+        """``(first_ts, last_ts)`` over all events, or ``None`` if empty."""
+        stamps = [e["ts"] for e in self.events if "ts" in e]
+        if not stamps:
+            return None
+        return min(stamps), max(stamps)
+
+    def units_scheduled(self) -> int:
+        """Units scheduled across every engine batch (cache hits included)."""
+        return sum(e.get("units", 0) for e in self.events
+                   if e.get("event") == "scheduled")
+
+    def cache_hits(self) -> int:
+        """Cache hits across every engine batch."""
+        return sum(e.get("cache_hits", 0) for e in self.events
+                   if e.get("event") == "scheduled")
+
+    def unit_latencies(self) -> List[float]:
+        """Per-unit wall latencies from ``done`` events, arrival order."""
+        return [e["latency_s"] for e in self.events
+                if e.get("event") == "done" and "latency_s" in e]
+
+    def failures(self) -> List[dict]:
+        """Every ``retried`` / ``quarantined`` event, ledger order."""
+        return [e for e in self.events
+                if e.get("event") in ("retried", "quarantined")]
+
+    def suspicions(self) -> List[dict]:
+        """Every health ``suspect`` event, ledger order."""
+        return [e for e in self.events if e.get("event") == "suspect"]
+
+    def workers(self) -> Dict[str, dict]:
+        """Per-worker activity folded from unit and summary events.
+
+        One dict per worker lane: units done, busy seconds (sum of done
+        latencies), retries and quarantines attributed to it, RSS
+        watermark and heartbeat count from the summaries, and the pids
+        the lane cycled through (respawns append).
+        """
+        lanes: Dict[str, dict] = {}
+
+        def lane(worker: str) -> dict:
+            return lanes.setdefault(worker, {
+                "worker": worker, "pids": [], "done": 0, "busy_s": 0.0,
+                "retried": 0, "quarantined": 0, "rss_kb": 0, "beats": 0,
+                "suspicions": 0})
+
+        for event in self.events:
+            kind = event.get("event")
+            worker = event.get("worker")
+            if kind == "done" and worker:
+                entry = lane(worker)
+                entry["done"] += 1
+                entry["busy_s"] += event.get("latency_s", 0.0)
+            elif kind in ("retried", "quarantined") and worker:
+                lane(worker)[kind] += 1
+            elif kind == "suspect" and worker:
+                lane(worker)["suspicions"] += 1
+            elif kind == "heartbeat-summary":
+                for snap in event.get("workers", []):
+                    entry = lane(snap.get("worker", "?"))
+                    pid = snap.get("pid")
+                    if pid and pid not in entry["pids"]:
+                        entry["pids"].append(pid)
+                    entry["rss_kb"] = max(entry["rss_kb"],
+                                          snap.get("rss_kb", 0))
+                    entry["beats"] = max(entry["beats"],
+                                         snap.get("beats", 0))
+        return lanes
+
+
+def load_ledger(path) -> LedgerView:
+    """Parse one ledger file into a :class:`LedgerView`.
+
+    Torn-line tolerant (a killed writer's partial final line is skipped)
+    and schema-checked: a file whose header names a different schema
+    raises ``ValueError`` rather than mis-rendering silently.
+    """
+    schema = ""
+    meta: dict = {}
+    events: List[dict] = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn final line from a killed writer
+            if "schema" in record:
+                schema = record["schema"]
+                meta = record.get("meta", {})
+                continue
+            if "event" in record:
+                events.append(record)
+    if schema and schema != LEDGER_SCHEMA:
+        raise ValueError(
+            f"{path}: ledger schema {schema!r}, expected {LEDGER_SCHEMA!r}")
+    return LedgerView(schema or LEDGER_SCHEMA, meta, events)

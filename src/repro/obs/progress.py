@@ -57,6 +57,15 @@ class ProgressReporter(NullRunObserver):
         self.min_interval = min_interval
         self.plain_interval = plain_interval
         self.label = label
+        # smoothed completion rate: EWMA over inter-completion intervals,
+        # so the ETA tracks the *current* pace instead of the whole-run
+        # average (which goes stale after a cache-hit burst or a slow
+        # warmup).  Shard campaigns smooth in the same display units —
+        # each ShardResult is one engine unit — so the ETA stays
+        # consistent whether units are sessions or whole shards.
+        self.ewma_alpha = 0.3
+        self._rate = 0.0
+        self._last_done_at: Optional[float] = None
         self.total = 0
         self.done = 0
         self.cache_hits = 0
@@ -72,6 +81,7 @@ class ProgressReporter(NullRunObserver):
         self._width = 0
         self._closed = False
         self._dirty = False
+        self._emitted = False
         # \r rewriting only makes sense on a real terminal; everywhere
         # else (CI logs, redirected stderr) emit occasional plain lines
         try:
@@ -99,6 +109,13 @@ class ProgressReporter(NullRunObserver):
     def unit_finished(self, value: Any) -> None:
         """One simulated unit completed."""
         self.done += 1
+        now = time.monotonic()
+        if self._last_done_at is not None and now > self._last_done_at:
+            sample = 1.0 / (now - self._last_done_at)
+            self._rate = (sample if self._rate == 0.0
+                          else self.ewma_alpha * sample
+                          + (1 - self.ewma_alpha) * self._rate)
+        self._last_done_at = now
         if isinstance(value, ShardResult):
             self.shards_done += 1
             self._batch_live_shards += 1
@@ -138,7 +155,7 @@ class ProgressReporter(NullRunObserver):
 
     def _line(self) -> str:
         elapsed = max(time.monotonic() - self._started, 1e-9)
-        rate = self.done / elapsed
+        rate = self._rate if self._rate > 0 else self.done / elapsed
         parts = [f"{self.label} {self.done}/{self.total}"]
         if self.shards_total:
             parts.append(f"shards {self.shards_done}/{self.shards_total}")
@@ -168,6 +185,7 @@ class ProgressReporter(NullRunObserver):
     def _emit(self, now: float) -> None:
         self._last_render = now
         self._dirty = False
+        self._emitted = True
         line = self._line()
         if self._tty:
             pad = " " * max(0, self._width - len(line))
@@ -186,7 +204,9 @@ class ProgressReporter(NullRunObserver):
         """
         if self._closed:
             return
-        if self._tty or self._dirty:
+        # non-TTY campaigns always get a final summary line — including
+        # zero-unit ones, which never mark the line dirty at all
+        if self._tty or self._dirty or not self._emitted:
             self._emit(time.monotonic())
         self._closed = True
         if self._tty:

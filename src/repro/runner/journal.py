@@ -154,7 +154,8 @@ class CampaignJournal:
     # -- recording -----------------------------------------------------------
 
     def record(self, key: str, status: str, attempts: int = 0,
-               error: Optional[str] = None) -> None:
+               error: Optional[str] = None,
+               worker: Optional[str] = None) -> None:
         """Append one outcome line and update the in-memory view."""
         entry = self.entries.get(key)
         if (entry is not None and entry.status == status
@@ -166,19 +167,24 @@ class CampaignJournal:
             record["attempts"] = attempts
         if error:
             record["error"] = error
+        if worker:
+            record["worker"] = worker
         self._append(record)
 
     def done(self, key: str, attempts: int = 0) -> None:
         """Mark one unit complete (its result is in the cache)."""
         self.record(key, "done", attempts)
 
-    def failed(self, key: str, error: str, attempts: int) -> None:
-        """Mark one failed attempt (the unit may yet be retried)."""
-        self.record(key, "failed", attempts, error)
+    def failed(self, key: str, error: str, attempts: int,
+               worker: Optional[str] = None) -> None:
+        """Mark one failed attempt (the unit may yet be retried);
+        ``worker`` attributes it to the supervised worker lane."""
+        self.record(key, "failed", attempts, error, worker)
 
-    def quarantined(self, key: str, error: str, attempts: int) -> None:
+    def quarantined(self, key: str, error: str, attempts: int,
+                    worker: Optional[str] = None) -> None:
         """Mark one unit poisoned: retries exhausted, excluded from results."""
-        self.record(key, "quarantined", attempts, error)
+        self.record(key, "quarantined", attempts, error, worker)
 
     # -- queries -------------------------------------------------------------
 

@@ -91,12 +91,25 @@ class NullRunObserver:
     def batch_started(self, units: int, cache_hits: int) -> None:
         """A ``run_sessions``/``run_tasks`` batch began (after cache lookup)."""
 
+    def unit_started(self, index: int, label: str, worker: str) -> None:
+        """A unit was handed to a supervised worker (health monitoring
+        only: the :class:`~repro.obs.health.HealthMonitor` forwards it)."""
+
     def unit_finished(self, value: Any) -> None:
         """One simulated unit completed (cache misses only, completion order)."""
 
     def unit_failed(self, failure: UnitFailure) -> None:
         """A supervised unit's attempt failed; ``failure.final`` marks
         the attempt that quarantined it (only fires under supervision)."""
+
+    def worker_beat(self, lane: Any) -> None:
+        """A worker heartbeat arrived; ``lane`` is the live
+        :class:`~repro.obs.health.WorkerLane` (health monitoring only)."""
+
+    def worker_suspect(self, suspicion: Any) -> None:
+        """Health monitoring flagged a :class:`~repro.obs.health.Suspicion`
+        (missed-beat, straggler, worker-lost).  Report-only: supervision
+        retry behavior never consults it."""
 
     def batch_finished(self, values: Sequence[Any]) -> None:
         """A batch returned; ``values`` holds every result in plan order."""
@@ -122,6 +135,11 @@ class CompositeRunObserver(NullRunObserver):
             if observer.enabled:
                 observer.batch_started(units, cache_hits)
 
+    def unit_started(self, index: int, label: str, worker: str) -> None:
+        for observer in self.observers:
+            if observer.enabled:
+                observer.unit_started(index, label, worker)
+
     def unit_finished(self, value: Any) -> None:
         for observer in self.observers:
             if observer.enabled:
@@ -131,6 +149,16 @@ class CompositeRunObserver(NullRunObserver):
         for observer in self.observers:
             if observer.enabled:
                 observer.unit_failed(failure)
+
+    def worker_beat(self, lane: Any) -> None:
+        for observer in self.observers:
+            if observer.enabled:
+                observer.worker_beat(lane)
+
+    def worker_suspect(self, suspicion: Any) -> None:
+        for observer in self.observers:
+            if observer.enabled:
+                observer.worker_suspect(suspicion)
 
     def batch_finished(self, values: Sequence[Any]) -> None:
         for observer in self.observers:
@@ -184,8 +212,14 @@ class EngineOptions:
     :class:`~repro.runner.sharding.Sharding` policy that sharding-aware
     call sites (:func:`~repro.runner.sharding.run_shards`, the
     ``model_validation`` experiment) consult to split one campaign into
-    deterministic, individually-cached shards.  Everything defaults to
-    off/None — the engine then behaves exactly as it always has.
+    deterministic, individually-cached shards.  ``health`` is the
+    observability side-channel: a
+    :class:`~repro.obs.health.HealthMonitor` that receives worker
+    heartbeats and unit lifecycle notifications from the supervised
+    path — report-only, never part of a cache fingerprint (typed
+    ``Any`` because the runner must not import ``repro.obs``, which
+    imports the runner).  Everything defaults to off/None — the engine
+    then behaves exactly as it always has.
     """
 
     jobs: int = 1
@@ -196,6 +230,7 @@ class EngineOptions:
     journal: Optional[CampaignJournal] = None
     failures: Optional[FailureReport] = None
     sharding: Optional[Any] = None  # repro.runner.sharding.Sharding
+    health: Optional[Any] = None    # repro.obs.health.HealthMonitor
 
 
 _OPTIONS: contextvars.ContextVar[EngineOptions] = contextvars.ContextVar(
@@ -256,7 +291,7 @@ def engine_options(**overrides):
     Keywords are the :class:`EngineOptions` fields — ``jobs``, ``cache``
     (a :class:`ResultCache`, a path, or ``None``), ``stats``,
     ``observer``, ``supervision``, ``journal``, ``failures``,
-    ``sharding``.  ``None`` keeps the surrounding value, so nested
+    ``sharding``, ``health``.  ``None`` keeps the surrounding value, so nested
     scopes compose: a test can pin ``jobs=1`` around an experiment the
     CLI configured with ``jobs=8``.
     """
@@ -400,14 +435,17 @@ def _run_cached(worker: Callable[[Any], Any], items: Sequence[Any],
                 supervision: Optional[SupervisionPolicy] = None,
                 journal: Optional[CampaignJournal] = None,
                 failures: Optional[FailureReport] = None,
-                describe: Optional[Callable[[int], str]] = None) -> List[Any]:
+                describe: Optional[Callable[[int], str]] = None,
+                health: Optional[Any] = None) -> List[Any]:
     """Cache-lookup, execute, persist: the engine's one batch pipeline.
 
     Every unit that completes is persisted (cache + journal) *as it
     completes*, not after the batch — a campaign killed mid-batch keeps
     everything already simulated.  With a ``supervision`` policy, cache
     misses run under :func:`~repro.runner.supervise.run_supervised`
-    (deadlines, retries, quarantine) instead of the plain pool.
+    (deadlines, retries, quarantine) instead of the plain pool; a
+    ``health`` monitor additionally receives worker heartbeats and unit
+    lifecycle notifications there (report-only).
     """
     results: List[Any] = [None] * len(items)
     pending = list(range(len(items)))
@@ -423,6 +461,9 @@ def _run_cached(worker: Callable[[Any], Any], items: Sequence[Any],
                     journal.done(key)  # idempotent replay on resume
     if observer.enabled:
         observer.batch_started(len(items), len(items) - len(pending))
+    if health is not None:
+        health.attach(observer)
+        health.batch_started(len(items), len(items) - len(pending))
     if rec.enabled:
         rec.inc("engine.units", len(items))
         rec.inc("engine.cache_hits", len(items) - len(pending))
@@ -474,9 +515,10 @@ def _run_cached(worker: Callable[[Any], Any], items: Sequence[Any],
         if journal is not None and failure.key is not None:
             if failure.final:
                 journal.quarantined(failure.key, failure.error,
-                                    failure.attempts)
+                                    failure.attempts, failure.worker)
             else:
-                journal.failed(failure.key, failure.error, failure.attempts)
+                journal.failed(failure.key, failure.error, failure.attempts,
+                               failure.worker)
         if failure.final and failures is not None:
             failures.add(failure)
         if observer.enabled:
@@ -486,7 +528,7 @@ def _run_cached(worker: Callable[[Any], Any], items: Sequence[Any],
         return run_supervised(
             worker, pending_items, jobs=jobs, policy=supervision,
             describe=describe_local, keys=keys_local,
-            on_done=on_done, on_failure=on_failure)
+            on_done=on_done, on_failure=on_failure, health=health)
 
     if rec.enabled:
         with rec.span("engine.execute"):
@@ -557,7 +599,8 @@ def run_sessions(plans: Iterable[PlanLike], *, jobs: Optional[int] = None,
                               stats, observer=observer,
                               supervision=options.supervision,
                               journal=options.journal,
-                              failures=options.failures, describe=describe)
+                              failures=options.failures, describe=describe,
+                              health=options.health)
         if observer.enabled:
             observer.batch_finished(results)
         return results
@@ -567,7 +610,8 @@ def run_sessions(plans: Iterable[PlanLike], *, jobs: Optional[int] = None,
                               stats, rec, observer,
                               supervision=options.supervision,
                               journal=options.journal,
-                              failures=options.failures, describe=describe)
+                              failures=options.failures, describe=describe,
+                              health=options.health)
         # Merge per-session telemetry in *plan order* — the results list
         # is already plan-ordered, so merged counters and event logs are
         # identical for any worker count.  Cache hits replay whatever
@@ -624,7 +668,8 @@ def run_tasks(fn: Callable[..., Any], argslist: Iterable[tuple], *,
                               observer=observer,
                               supervision=options.supervision,
                               journal=options.journal,
-                              failures=options.failures, describe=describe)
+                              failures=options.failures, describe=describe,
+                              health=options.health)
         unwrapped = [r.value if isinstance(r, _TaskEnvelope) else r
                      for r in results]
         if observer.enabled:
@@ -636,7 +681,8 @@ def run_tasks(fn: Callable[..., Any], argslist: Iterable[tuple], *,
                               stats, rec, observer,
                               supervision=options.supervision,
                               journal=options.journal,
-                              failures=options.failures, describe=describe)
+                              failures=options.failures, describe=describe,
+                              health=options.health)
         unwrapped: List[Any] = []
         for result in results:
             if isinstance(result, _TaskEnvelope):

@@ -39,12 +39,14 @@ The policy knob is :class:`Sharding` on
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from .cache import ResultCache
 from .fingerprint import code_version, fingerprint
 from .pool import SessionPlan, current_options, run_tasks
+from .supervise import CHAOS_ENV, chaos_hook, chaos_mark_done
 
 __all__ = [
     "ShardResult",
@@ -180,9 +182,18 @@ def split_items(items: Sequence[Any], shards: int) -> List[List[Any]]:
 def _shard_call(payload: Tuple[Callable[..., Any], ShardSpec, tuple]):
     """Pool worker: run one shard and wrap its reduction in a
     :class:`ShardResult` (in the worker, so cached artifacts carry the
-    spec too)."""
+    spec too).  Chaos hooks (``$REPRO_CHAOS``) fire here like they do
+    for plain session units, keyed on the shard's campaign identity so
+    the same shards misbehave on every run and under any ``--jobs``."""
     fn, spec, args = payload
-    return ShardResult(spec, fn(*args))
+    chaos = CHAOS_ENV in os.environ
+    chaos_key = f"shard:{spec.campaign}:{spec.index}/{spec.of}"
+    if chaos:
+        chaos_hook(chaos_key)
+    result = ShardResult(spec, fn(*args))
+    if chaos:
+        chaos_mark_done(chaos_key)
+    return result
 
 
 def run_shards(fn: Callable[..., Any],

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import hashlib
 import os
+import sys
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -104,6 +106,7 @@ class UnitFailure:
     traceback: str = ""        # worker-side traceback, when one exists
     attempts: int = 1          # attempts consumed so far
     final: bool = False        # True once the unit is quarantined
+    worker: Optional[str] = None  # supervised worker lane ("w0", ...)
 
     def record(self) -> dict:
         """The failure as a flat export record (see ``FAILURE_FIELDS``)."""
@@ -115,6 +118,7 @@ class UnitFailure:
             "error": self.error,
             "attempts": self.attempts,
             "final": self.final,
+            "worker": self.worker,
             "traceback": self.traceback,
         }
 
@@ -227,6 +231,13 @@ def _chaos_dir() -> Optional[str]:
     return root
 
 
+def _chaos_marker(root: str, key: str, suffix: str) -> str:
+    # shard chaos keys contain "/" ("...:1/4"): flatten so the marker
+    # stays a single file directly under $REPRO_CHAOS_DIR
+    safe = key.replace(os.sep, "_").replace("/", "_")
+    return os.path.join(root, f"{safe}.{suffix}")
+
+
 def chaos_hook(key: str) -> None:
     """Entry-side chaos: maybe crash or poison the unit ``key``.
 
@@ -241,7 +252,7 @@ def chaos_hook(key: str) -> None:
         root = _chaos_dir()
         if root is None or not _chaos_selected(key, rate):
             return
-        marker = os.path.join(root, f"{key}.crashed")
+        marker = _chaos_marker(root, key, "crashed")
         if not os.path.exists(marker):
             with open(marker, "w"):
                 pass
@@ -266,19 +277,60 @@ def chaos_mark_done(key: str) -> None:
         return
     root = _chaos_dir()
     if root is not None:
-        with open(os.path.join(root, f"{key}.done"), "w"):
+        with open(_chaos_marker(root, key, "done"), "w"):
             pass
 
 
 # -- the supervisor -----------------------------------------------------------
 
-def _supervised_worker_main(worker: Callable[[Any], Any], inbox, outbox) -> None:
+def _worker_rss_kb() -> int:
+    """Peak RSS of this worker process, in kB (0 where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS
+    return peak // 1024 if sys.platform == "darwin" else peak
+
+
+def _beat_emitter(beats, interval: float, counter) -> None:
+    """Daemon loop inside a supervised worker: one heartbeat per period.
+
+    Each beat is ``(units_done, rss_kb)`` — liveness plus progress plus
+    memory, the whole wire format.  Runs on a daemon thread so a wedged
+    unit on the main thread is exactly what *stops* the beats: silence
+    is the signal.  (A wedge that holds the GIL stops them too — either
+    way the parent sees missed beats.)
+    """
+    while True:
+        time.sleep(interval)
+        try:
+            beats.put((counter[0], _worker_rss_kb()))
+        except Exception:  # parent gone / queue closed: nothing to tell
+            return
+
+
+def _supervised_worker_main(worker: Callable[[Any], Any], inbox, outbox,
+                            beats=None, beat_interval: float = 1.0) -> None:
     """Loop of one supervised worker process: run units until told to stop.
 
     Results and exceptions both travel back through ``outbox``; an
     abrupt death (crash, kill, chaos) is detected by the supervisor
-    through the process exit code instead.
+    through the process exit code instead.  When health monitoring is
+    on, ``beats`` is a dedicated queue fed by a daemon heartbeat thread
+    — separate from ``outbox`` so a torn result pickle can never corrupt
+    the liveness channel (or vice versa).
     """
+    counter = [0]  # units completed, shared with the heartbeat thread
+    if beats is not None:
+        threading.Thread(target=_beat_emitter,
+                         args=(beats, beat_interval, counter),
+                         daemon=True).start()
+        try:
+            beats.put((0, _worker_rss_kb()))  # birth beat: alive before work
+        except Exception:
+            pass
     while True:
         message = inbox.get()
         if message is None:
@@ -292,6 +344,7 @@ def _supervised_worker_main(worker: Callable[[Any], Any], inbox, outbox) -> None
         else:
             try:
                 outbox.put((index, "ok", value))
+                counter[0] += 1
             except Exception as exc:  # unpicklable result
                 outbox.put((index, "err",
                             f"result not picklable: {exc!r}",
@@ -307,12 +360,18 @@ class _Worker:
     batch.
     """
 
-    def __init__(self, context, target) -> None:
+    def __init__(self, context, target,
+                 beat_interval: Optional[float] = None) -> None:
         self.inbox = context.SimpleQueue()
         self.outbox = context.SimpleQueue()
+        # the heartbeat channel is as private as the result pipe, and
+        # only exists when health monitoring asked for it
+        self.beats = context.SimpleQueue() if beat_interval is not None else None
+        args = (target, self.inbox, self.outbox)
+        if self.beats is not None:
+            args = args + (self.beats, beat_interval)
         self.process = context.Process(
-            target=_supervised_worker_main,
-            args=(target, self.inbox, self.outbox), daemon=True)
+            target=_supervised_worker_main, args=args, daemon=True)
         self.process.start()
         self.unit: Optional[int] = None      # batch index being run
         self.started_at: float = 0.0
@@ -360,6 +419,7 @@ def run_supervised(
     keys: Optional[Sequence[Optional[str]]] = None,
     on_done: Optional[Callable[[int, Any], None]] = None,
     on_failure: Optional[Callable[[UnitFailure], None]] = None,
+    health: Optional[Any] = None,
 ) -> Tuple[List[Any], List[UnitFailure], int]:
     """Run ``worker`` over ``items`` under supervision.
 
@@ -370,6 +430,14 @@ def run_supervised(
     *completion order* as units finish (the persistence hook);
     ``on_failure(failure)`` fires on every failed attempt, with
     ``failure.final`` set on the quarantining one.
+
+    ``health`` (a :class:`~repro.obs.health.HealthMonitor`, duck-typed
+    because the runner never imports ``repro.obs``) turns on the
+    heartbeat channel: each worker gains a dedicated beat queue and a
+    daemon emitter thread, and the supervisor drains beats and notifies
+    the monitor of every assign / completion / failure / death.  Every
+    monitor call is report-only — retry and quarantine decisions are
+    identical with ``health=None``.
 
     Unlike the plain pool, every unit — even under ``jobs=1`` — runs in
     a child process, which is what makes crash containment and deadline
@@ -392,8 +460,14 @@ def run_supervised(
     retries_spent = 0
     # (eligible_at, index): units waiting for a free worker / backoff
     ready: List[Tuple[float, int]] = [(0.0, i) for i in range(total)]
-    workers = [_Worker(context, worker)
+    beat_interval = (getattr(health, "beat_interval", 1.0)
+                     if health is not None else None)
+    workers = [_Worker(context, worker, beat_interval)
                for _ in range(max(1, min(jobs, total)))]
+    lanes = [f"w{slot}" for slot in range(len(workers))]
+    if health is not None:
+        for slot, handle in enumerate(workers):
+            health.worker_started(lanes[slot], handle.process.pid)
 
     def _quarantine(failure: UnitFailure) -> None:
         failure.final = True
@@ -403,16 +477,24 @@ def run_supervised(
         if on_failure is not None:
             on_failure(failure)
 
-    def _failed_attempt(index: int, kind: str, error: str, tb: str) -> None:
+    def _failed_attempt(index: int, kind: str, error: str, tb: str,
+                        lane: Optional[str] = None) -> None:
         nonlocal retries_spent, retries_left
         attempts[index] += 1
         failure = UnitFailure(
             index=index, label=describe(index),
             key=keys[index] if keys is not None else None,
             kind=kind, error=error, traceback=tb,
-            attempts=attempts[index])
+            attempts=attempts[index], worker=lane)
         out_of_budget = retries_left is not None and retries_left <= 0
-        if attempts[index] >= budget.max_attempts or out_of_budget:
+        terminal = attempts[index] >= budget.max_attempts or out_of_budget
+        if health is not None:
+            # notified before on_failure: the caller's hook may remap
+            # failure.index to plan coordinates, the monitor's lanes
+            # speak batch-local ones
+            failure.final = terminal
+            health.unit_failed(failure)
+        if terminal:
             _quarantine(failure)
             return
         if on_failure is not None:
@@ -424,22 +506,42 @@ def run_supervised(
         ready.append((eligible, index))
 
     def _respawn(slot: int) -> None:
-        workers[slot] = _Worker(context, worker)
+        workers[slot] = _Worker(context, worker, beat_interval)
+        if health is not None:
+            health.worker_started(lanes[slot], workers[slot].process.pid)
 
     def _settle(slot: int, kind: str, error: str) -> None:
         """A worker crashed or blew its deadline: respawn, charge the unit."""
         index = workers[slot].unit
+        if health is not None:
+            health.worker_lost(lanes[slot], workers[slot].process.pid,
+                               kind, error, index)
         _respawn(slot)
         if index is not None and not done[index]:
-            _failed_attempt(index, kind, error, "")
+            _failed_attempt(index, kind, error, "", lane=lanes[slot])
 
     try:
         while not all(done):
             now = time.monotonic()
             progressed = False
+            # drain heartbeats (liveness only — never gates scheduling)
+            if health is not None:
+                for slot, worker_handle in enumerate(workers):
+                    beats = worker_handle.beats
+                    if beats is None:
+                        continue
+                    try:
+                        while not beats.empty():
+                            units_done, rss_kb = beats.get()
+                            health.beat(lanes[slot],
+                                        worker_handle.process.pid,
+                                        units_done, rss_kb)
+                    except Exception:
+                        pass  # torn beat from a dying worker: drop it
+                health.poll()
             # hand eligible units to idle, living workers
             ready.sort()
-            for worker_handle in workers:
+            for slot, worker_handle in enumerate(workers):
                 if not worker_handle.idle or worker_handle.dead():
                     continue
                 while ready and done[ready[0][1]]:
@@ -448,11 +550,19 @@ def run_supervised(
                     break
                 _, index = ready.pop(0)
                 worker_handle.assign(index, items[index])
+                if health is not None:
+                    health.unit_started(
+                        lanes[slot], index, describe(index),
+                        keys[index] if keys is not None else None)
                 progressed = True
             # drain completions, worker by worker
             for slot, worker_handle in enumerate(workers):
                 if worker_handle.unit is None:
                     if worker_handle.dead():
+                        if health is not None:
+                            health.worker_lost(
+                                lanes[slot], worker_handle.process.pid,
+                                "crash", "worker died idle", None)
                         _respawn(slot)  # died idle (start failure)
                     continue
                 try:
@@ -466,10 +576,13 @@ def run_supervised(
                         if status == "ok":
                             done[index] = True
                             results[index] = payload[0]
+                            if health is not None:
+                                health.unit_finished(lanes[slot], index)
                             if on_done is not None:
                                 on_done(index, payload[0])
                         else:
-                            _failed_attempt(index, "exception", *payload)
+                            _failed_attempt(index, "exception", *payload,
+                                            lane=lanes[slot])
                 except Exception as exc:
                     # partial pickle from a dying writer: the pipe is
                     # unusable — treat as a crash of the running unit
@@ -497,4 +610,6 @@ def run_supervised(
     finally:
         for worker_handle in workers:
             worker_handle.stop()
+        if health is not None:
+            health.finish()
     return results, quarantined, retries_spent

@@ -37,10 +37,12 @@ recorder, :mod:`repro.telemetry.recorder`); :func:`summarize`,
 
 from .export import (
     aggregate_spans,
+    chrome_trace_events,
     format_hot_spans,
     hot_spans,
     percentile_row,
     summarize,
+    write_chrome_trace,
     write_jsonl,
 )
 from .recorder import (
@@ -65,6 +67,7 @@ __all__ = [
     "SessionTelemetry",
     "SpanRecord",
     "aggregate_spans",
+    "chrome_trace_events",
     "current_recorder",
     "format_hot_spans",
     "hot_spans",
@@ -72,5 +75,6 @@ __all__ = [
     "recording",
     "summarize",
     "use_recorder",
+    "write_chrome_trace",
     "write_jsonl",
 ]

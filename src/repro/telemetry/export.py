@@ -30,10 +30,12 @@ from .recorder import (
 
 __all__ = [
     "aggregate_spans",
+    "chrome_trace_events",
     "format_hot_spans",
     "hot_spans",
     "percentile_row",
     "summarize",
+    "write_chrome_trace",
     "write_jsonl",
 ]
 
@@ -311,3 +313,53 @@ def write_jsonl(telemetry: TelemetryLike, path) -> int:
             }) + "\n")
             written += 1
     return written
+
+
+def chrome_trace_events(telemetry: TelemetryLike) -> List[dict]:
+    """The span tree as Chrome trace-viewer complete events.
+
+    One ``{"ph": "X"}`` event per span record, timestamps and durations
+    in microseconds rebased to the earliest span start, so the trace
+    opens at t=0 in ``chrome://tracing`` or Perfetto.  The event name is
+    the last segment of the span path (the full path travels in
+    ``args.path``); everything runs on pid/tid 0 because span records
+    are already merged across workers by the time they reach an export.
+
+    >>> events = chrome_trace_events(SessionTelemetry(spans=[
+    ...     SpanRecord("a", 10.0, 2.0), SpanRecord("a/b", 10.5, 1.0)],
+    ...     counters={}, gauges={}, histograms={}, events=[]))
+    >>> [(e["name"], e["ts"], e["dur"]) for e in events]
+    [('a', 0, 2000000), ('b', 500000, 1000000)]
+    """
+    snap = _as_snapshot(telemetry)
+    if not snap.spans:
+        return []
+    base = min(span.start for span in snap.spans)
+    events = []
+    for span in sorted(snap.spans, key=lambda s: (s.start, s.path)):
+        events.append({
+            "name": span.path.rsplit("/", 1)[-1],
+            "cat": "span",
+            "ph": "X",
+            "ts": round((span.start - base) * 1e6),
+            "dur": round(span.duration * 1e6),
+            "pid": 0,
+            "tid": 0,
+            "args": {"path": span.path},
+        })
+    return events
+
+
+def write_chrome_trace(telemetry: TelemetryLike, path) -> int:
+    """Dump the span tree as a Chrome trace-viewer JSON array.
+
+    Writes the :func:`chrome_trace_events` list as one JSON array —
+    the plain-array flavor of the trace-event format, loadable by
+    ``chrome://tracing`` and Perfetto directly.  Returns the event
+    count.
+    """
+    events = chrome_trace_events(telemetry)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(events, f)
+        f.write("\n")
+    return len(events)

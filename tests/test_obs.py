@@ -180,6 +180,30 @@ class TestSerializers:
             [{"metric": "a.b-c", "session": "s0", "t": None, "value": 1}])
         assert lines[1].startswith("repro_a_b_c{")
 
+    def test_prometheus_escapes_hostile_label_values(self):
+        """Quotes, backslashes and newlines in a label value must be
+        escaped per the text exposition format, not passed through."""
+        hostile = 'ca"t\\dog\nfish'
+        lines = prometheus_lines(
+            [{"metric": "up", "session": hostile, "t": None, "value": 1}])
+        assert lines[1] == 'repro_up{session="ca\\"t\\\\dog\\nfish"} 1'
+        # the sample stays one physical line with balanced quoting
+        assert "\n" not in lines[1]
+        assert lines[1].count('"') - lines[1].count('\\"') == 2
+
+    def test_prometheus_escaping_round_trips(self):
+        import re
+
+        hostile = 'a\\b"c\nd'
+        lines = prometheus_lines(
+            [{"metric": "up", "session": hostile, "t": None, "value": 1}])
+        quoted = re.search(r'session="((?:[^"\\]|\\.)*)"', lines[1]).group(1)
+        unescaped = (quoted.replace("\\n", "\n").replace('\\"', '"')
+                     .replace("\\\\", "\x00").replace("\x00", "\\"))
+        # NB: inverse order of the writer's; \\ placeholder avoids
+        # re-interpreting the backslash that \n/\" unescaping produced
+        assert unescaped == 'a\\b"c\nd'.replace("\\\\", "\\")
+
 
 class TestDeterminism:
     def test_exports_identical_across_jobs_telemetry_and_cache(self, tmp_path):
@@ -220,6 +244,37 @@ class TestDeterminism:
         assert keys_after == keys_before
         assert obs_flows == base_flows
         assert obs_metrics == base_metrics
+
+    def test_exports_identical_with_health_monitoring(self, tmp_path):
+        """Health plane on vs off, same supervision: byte-identical.
+
+        The monitor observes a supervised run (heartbeats, lanes,
+        suspicion) but must never change what the engine computes or
+        exports — the kill-a-worker acceptance check in
+        ``tests/test_health.py`` asserts attribution; this one asserts
+        the zero-perturbation half of the invariant.
+        """
+        from repro.obs import HealthMonitor, HealthPolicy
+        from repro.runner import SupervisionPolicy
+
+        def run(health, tag):
+            collector = CampaignCollector()
+            with engine_options(jobs=2, observer=collector,
+                                supervision=SupervisionPolicy(),
+                                health=health):
+                fig2.run(TINY, seed=0)
+            return _export_bytes(collector, tmp_path, tag)
+
+        off = run(None, "health-off")
+        monitor = HealthMonitor(HealthPolicy(interval=0.05))
+        on = run(monitor, "health-on")
+        assert on == off
+        # and the monitor really was live, not silently bypassed
+        lanes = monitor.lanes()
+        assert lanes
+        assert sum(lane.units_done for lane in lanes) == monitor.units_done
+        assert monitor.units_done > 0
+        assert sum(lane.beats for lane in lanes) >= len(lanes)  # birth beats
 
     def test_plan_fingerprint_ignores_observer_state(self):
         video, config = _video(), _config()
@@ -292,6 +347,19 @@ class _FakeTty(io.StringIO):
         return True
 
 
+class _FakeTime:
+    """Stand-in for the ``time`` module inside ``repro.obs.progress``."""
+
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def monotonic(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
 class TestProgressReporter:
     def test_renders_single_line_with_rate_and_cache(self):
         stream = _FakeTty()
@@ -355,6 +423,44 @@ class TestProgressReporter:
         # one initial line, plus the final flush of pending progress
         assert 1 <= out.count("\n") <= 2
         assert out.splitlines()[-1].startswith("sessions 10/10")
+
+    def test_zero_unit_non_tty_close_still_summarizes(self):
+        """A campaign that schedules nothing never dirties the line;
+        close() must still emit the one-line summary (regression:
+        zero-unit non-TTY runs used to end completely silent)."""
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, plain_interval=3600.0)
+        reporter.close()
+        out = stream.getvalue()
+        assert out.count("\n") == 1
+        assert out.splitlines()[0].startswith("sessions 0/0")
+        reporter.close()  # still idempotent
+        assert stream.getvalue() == out
+
+    def test_eta_uses_smoothed_rate_not_whole_run_average(self, monkeypatch):
+        fake = _FakeTime()
+        monkeypatch.setattr("repro.obs.progress.time", fake)
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, min_interval=0.0,
+                                    plain_interval=0.0)
+        reporter.batch_started(20, 0)
+        # a burst at 10/s, then the pace collapses to 0.5/s
+        for _ in range(5):
+            fake.advance(0.1)
+            reporter.unit_finished(object())
+        for _ in range(5):
+            fake.advance(2.0)
+            reporter.unit_finished(object())
+        # the first completion only anchors the clock: 4 fast samples
+        expected = 0.0
+        for sample in [10.0] * 4 + [0.5] * 5:
+            expected = (sample if expected == 0.0
+                        else 0.3 * sample + 0.7 * expected)
+        assert reporter._rate == pytest.approx(expected)
+        last = stream.getvalue().splitlines()[-1]
+        assert f"{expected:.1f}/s" in last       # ~2.1/s: the current pace
+        whole_run = reporter.done / (fake.monotonic() - 100.0)
+        assert f"{whole_run:.1f}/s" not in last  # ~1.0/s: the stale average
 
     def test_unit_failed_counts_retry_then_quarantine(self):
         class Attempt:
