@@ -18,6 +18,12 @@ Commands:
   ``--trace-chrome out.json`` exports the span tree for
   ``chrome://tracing`` / Perfetto).  The experiment's own output is
   unchanged by recording; ``--report`` prints it too.
+* ``worker`` — the executing half of a distributed campaign: a
+  long-lived process that leases shards one at a time from a shared
+  queue directory, runs them through its own supervised pool, and lands
+  the artifacts in the shared store.  Start any number, on any hosts
+  that see the queue/store paths; kill any of them freely — an expired
+  lease re-leases to a surviving worker after the TTL.
 * ``dash <name>`` — run an experiment under worker supervision with the
   live multi-line health dashboard: one lane per worker (heartbeat age,
   units/s, RSS, current unit) plus straggler/missed-beat flags.
@@ -47,6 +53,14 @@ into N supervised shards with streaming reduction — memory stays
 O(shards) up to 10^6 sessions, shard artifacts cache under
 ``--cache-dir`` so a re-run re-simulates zero shards, and
 ``--aggregate FILE`` exports the merged campaign statistics.
+
+And it distributes: ``--distributed`` publishes the shards to a
+lease-based work queue (``--queue-dir``, default ``<cache>/queue``)
+instead of the local pool, spawns ``--workers N`` local drain-mode
+workers (plus any ``repro worker`` processes started elsewhere), and
+reduces artifacts as they land — with exports byte-identical to the
+single-host ``--shards`` run.  ``--shard-size K`` makes many small
+shards, the work-stealing granularity knob.
 """
 
 from __future__ import annotations
@@ -84,6 +98,31 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
         help="re-dimension the campaign to M total sessions (sharding-"
              "aware experiments only, e.g. model_validation; implies "
              "--shards 1 unless given)")
+    p.add_argument(
+        "--shard-size", type=int, default=None, metavar="K",
+        help="size-based sharding: split into ceil(M/K) shards of K "
+             "sessions each instead of a fixed count — many small "
+             "shards are the work-stealing knob for --distributed "
+             "(exclusive with --shards)")
+    p.add_argument(
+        "--distributed", action="store_true",
+        help="run the shard batch over the lease-based work queue "
+             "instead of the local pool: publish shards, reduce "
+             "artifacts as they land (requires --cache-dir; exports "
+             "are byte-identical to a single-host --shards run)")
+    p.add_argument(
+        "--queue-dir", default=None, metavar="DIR",
+        help="shard-queue directory shared by the coordinator and "
+             "every worker (default: <cache-dir>/queue)")
+    p.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="local `repro worker --drain` processes the coordinator "
+             "spawns and respawns (0 = external fleet only: start "
+             "workers yourself, on this host or others)")
+    p.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECS",
+        help="shard lease time-to-live; a worker silent this long is "
+             "presumed dead and its shard re-leases (default 30)")
     p.add_argument(
         "--resume", action="store_true",
         help="continue a previous campaign: reuse its journal (requires "
@@ -186,6 +225,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "--failures", default=None, metavar="FILE",
         help="export quarantined-unit failures (keys, errors, tracebacks) "
              "in the format implied by the suffix")
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="drain a distributed shard queue (the executing half of "
+             "`repro experiment --distributed`)")
+    p_worker.add_argument(
+        "--queue-dir", required=True, metavar="DIR",
+        help="shard-queue directory (or redis:// URL) shared with the "
+             "coordinator")
+    p_worker.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared artifact-store root — the coordinator's "
+             "--cache-dir (default: $REPRO_CACHE_DIR)")
+    p_worker.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="identity in leases, done markers and run ledgers "
+             "(default: <hostname>-<pid>)")
+    p_worker.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECS",
+        help="lease time-to-live; must match the coordinator's "
+             "(default 30)")
+    p_worker.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECS",
+        help="idle sleep between claim attempts (default 0.5)")
+    p_worker.add_argument(
+        "--drain", action="store_true",
+        help="exit once every published shard is done or failed "
+             "(default: keep polling for future work)")
+    p_worker.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="stop after claiming N shards (canary/test workers)")
+    p_worker.add_argument(
+        "--max-attempts", type=int, default=1, metavar="N",
+        help="supervised retries per shard before reporting it failed "
+             "(default 1 = fail fast)")
+    p_worker.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECS",
+        help="per-shard wall-clock deadline inside this worker's "
+             "supervised pool")
+    p_worker.add_argument(
+        "--verbose", action="store_true",
+        help="log every claim/completion/steal to stderr")
 
     p_dash = sub.add_parser(
         "dash",
@@ -296,6 +377,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--history", nargs="?", const=".", default=None, metavar="DIR",
         help="print the per-benchmark trajectory across every committed "
              "BENCH_*.json under DIR (default: the cwd) instead of running")
+    p_bench.add_argument(
+        "--dist", action="store_true",
+        help="also record a dist_campaign entry: the same sharded "
+             "model_validation campaign through the distributed fabric "
+             "at workers=1 and workers=4, over throwaway queues/stores")
+    p_bench.add_argument(
+        "--dist-sessions", type=int, default=6000, metavar="M",
+        help="campaign size for the --dist entry (default 6000)")
 
     p_list = sub.add_parser(
         "list", help="show experiments, applications, networks, campaigns")
@@ -454,6 +543,48 @@ def _supervision_policy(args):
     )
 
 
+def _cmd_worker(args) -> int:
+    """``repro worker``: drain a shard queue into the shared store."""
+    import signal
+
+    from .runner import WorkerOptions, run_worker
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        print("repro worker needs the shared store: pass --cache-dir or "
+              "set $REPRO_CACHE_DIR (same root as the coordinator)",
+              file=sys.stderr)
+        return 2
+    # the coordinator stops local workers with SIGTERM; route it through
+    # the normal teardown so the held lease is abandoned immediately
+    # instead of waiting out the TTL on another worker's clock
+    signal.signal(signal.SIGTERM, lambda *_: sys.exit(143))
+    options = WorkerOptions(
+        queue=args.queue_dir,
+        cache_dir=os.path.expanduser(cache_dir),
+        worker_id=args.worker_id,
+        ttl=args.lease_ttl,
+        poll=args.poll,
+        drain=args.drain,
+        max_shards=args.max_shards,
+        max_attempts=args.max_attempts,
+        unit_timeout=args.unit_timeout,
+        verbose=args.verbose,
+    )
+    try:
+        stats = run_worker(options)
+    except KeyboardInterrupt:
+        print("worker interrupted; lease abandoned", file=sys.stderr)
+        return 130
+    except SystemExit as exc:
+        # the coordinator's routine drain-phase SIGTERM: exit quietly
+        if args.verbose:
+            print("worker terminated; lease abandoned", file=sys.stderr)
+        return int(exc.code or 0)
+    print(stats.summary())
+    return 0
+
+
 def _cmd_experiment(args, dashboard: bool = False) -> int:
     from .analysis import format_table
     from .experiments import REGISTRY, SCALES
@@ -489,10 +620,29 @@ def _cmd_experiment(args, dashboard: bool = False) -> int:
 
         supervision = SupervisionPolicy()
     sharding = None
-    if args.shards is not None or args.sessions is not None:
+    if (args.shards is not None or args.sessions is not None
+            or args.shard_size is not None or args.distributed):
         from .runner import Sharding
 
-        sharding = Sharding(shards=args.shards or 1, sessions=args.sessions)
+        if args.shards is not None and args.shard_size is not None:
+            print("--shards and --shard-size are exclusive: fix the "
+                  "count or the size, not both", file=sys.stderr)
+            return 2
+        sharding = Sharding(shards=args.shards or 1, sessions=args.sessions,
+                            shard_size=args.shard_size)
+    dist = None
+    if args.distributed:
+        if cache is None:
+            print("--distributed needs a shared artifact store: pass "
+                  "--cache-dir or set $REPRO_CACHE_DIR (workers and the "
+                  "coordinator must see the same root)", file=sys.stderr)
+            return 2
+        from .runner import DistPolicy
+
+        dist = DistPolicy(queue=args.queue_dir or str(cache.root / "queue"),
+                          workers=args.workers, ttl=args.lease_ttl,
+                          max_attempts=args.max_attempts,
+                          unit_timeout=args.unit_timeout)
     # the observatory: progress + collection ride the engine observer
     # hook; with neither flag the observer stays NULL_OBSERVER and the
     # engine takes its zero-cost path
@@ -562,7 +712,11 @@ def _cmd_experiment(args, dashboard: bool = False) -> int:
                         ledger.event("campaign-started", experiment=name,
                                      jobs=args.jobs, shards=args.shards,
                                      sessions=args.sessions,
-                                     resume=True if args.resume else None)
+                                     shard_size=args.shard_size,
+                                     resume=True if args.resume else None,
+                                     distributed=True if dist else None,
+                                     workers=(args.workers
+                                              if dist is not None else None))
                     beat = getattr(args, "beat_interval", None)
                     policy = (HealthPolicy(interval=beat)
                               if beat is not None else None)
@@ -574,7 +728,8 @@ def _cmd_experiment(args, dashboard: bool = False) -> int:
                     result = spec.run(scale, seed=args.seed, jobs=args.jobs,
                                       cache=cache, stats=stats,
                                       journal=journal, failures=failures,
-                                      sharding=sharding, health=monitor)
+                                      sharding=sharding, health=monitor,
+                                      dist=dist)
                 except CampaignAborted as exc:
                     aborted = True
                     report = f"{name}: campaign aborted — {exc.report.format()}"
@@ -812,6 +967,13 @@ def _cmd_bench(args) -> int:
                                      jobs=args.jobs, cache=cache)
     for name, entry in entries.items():
         writer.add(name, entry.pop("wall_s"), **entry)
+    if args.dist:
+        entry = obs_bench.run_dist_bench(args.scale, seed=args.seed,
+                                         sessions=args.dist_sessions)
+        writer.add("dist_campaign", entry.pop("wall_s"), **entry)
+        print(f"dist_campaign  : workers "
+              f"{'/'.join(str(w) for w in entry['workers'])}, "
+              f"speedup {entry['speedup']:.2f}x")
     if cache is not None:
         stats = cache.stats()
         print(f"cache          : {stats['entries']} entries, "
@@ -892,6 +1054,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stream(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "dash":
         return _cmd_dash(args)
     if args.command == "report":

@@ -71,6 +71,7 @@ class ExperimentSpec:
         failures=None,
         sharding=None,
         health=None,
+        dist=None,
     ):
         """Run the experiment with engine options installed ambiently.
 
@@ -86,11 +87,14 @@ class ExperimentSpec:
         campaign to it, others ignore it.  ``health`` is a
         :class:`~repro.obs.health.HealthMonitor` watching the supervised
         workers (report-only: results are identical with or without it).
+        ``dist`` is a :class:`~repro.runner.DistPolicy`: shard batches
+        then run over the distributed work queue instead of the local
+        pool, with byte-identical results.
         """
         with engine_options(jobs=jobs, cache=cache, stats=stats,
                             supervision=supervision, journal=journal,
                             failures=failures, sharding=sharding,
-                            health=health):
+                            health=health, dist=dist):
             return self.module.run(scale, seed=seed)
 
 

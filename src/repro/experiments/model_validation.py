@@ -24,6 +24,7 @@ Without a policy the original single-run path executes unchanged.
 
 from __future__ import annotations
 
+import copy
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
@@ -88,36 +89,51 @@ def _sharded_moments(catalog, lam: float, peak: float, scale: Scale,
 
     The campaign's session target (``policy.sessions``, defaulting to
     the scale's horizon at rate ``lam``) becomes a Poisson horizon of
-    ``sessions / lam`` seconds, split into ``policy.shards`` chunks.
-    Each chunk runs at full arrival rate with its own derived seed and
-    its own warmup, so every shard contributes steady-state samples;
-    shard seeds depend only on the campaign seed and shard index — not
-    on the strategy — preserving the unsharded path's common-random-
-    numbers comparison across strategies, and not on the shard *count*,
-    so a re-dimensioned campaign (same per-shard horizon, more shards)
+    ``sessions / lam`` seconds, split into ``policy.shards`` chunks —
+    or, with ``policy.shard_size``, into ``ceil(sessions / size)``
+    chunks of ``size`` sessions each, the fine granularity the
+    distributed fabric's work-stealing feeds on.  Each chunk runs at
+    full arrival rate with its own derived seed and its own warmup, so
+    every shard contributes steady-state samples; shard seeds depend
+    only on the campaign seed and shard index — not on the strategy —
+    preserving the unsharded path's common-random-numbers comparison
+    across strategies, and not on the shard *count*, so a
+    re-dimensioned campaign (same per-shard horizon, more shards)
     reuses its cached shard artifacts.
+
+    Reduction streams through ``run_shards(on_result=...)``: strategy
+    aggregates merge in plan order as shards settle — identically on
+    the local path (post-batch) and the distributed one (as artifacts
+    land), so exports are byte-identical across transports.
     """
     sessions = policy.sessions or max(1, int(lam * scale.mc_horizon))
-    shard_horizon = (sessions / lam) / policy.shards
+    shards = policy.shard_count(sessions)
+    shard_horizon = (sessions / lam) / shards
     expected = max(1, round(lam * shard_horizon))
     units = []
     for name in STRATEGY_NAMES:
-        for index in range(policy.shards):
+        for index in range(shards):
             spec = ShardSpec(campaign=f"model_validation:{name}",
                              scale=scale.name, seed=seed, index=index,
-                             of=policy.shards, units=expected)
+                             of=shards, units=expected)
             units.append((spec, (catalog, lam, shard_horizon, name, peak,
                                  seed + 1 + index)))
-    results = run_shards(_moment_shard, units)
     merged: Dict[str, object] = {}
-    for (spec, _args), result in zip(units, results):
+
+    def fold(result) -> None:
         if not isinstance(result, ShardResult):
-            continue  # quarantined shard under a degraded campaign
-        name = spec.campaign.split(":", 1)[1]
+            return  # quarantined shard under a degraded campaign
+        name = result.shard.campaign.split(":", 1)[1]
         if name in merged:
             merged[name].merge(result.value)
         else:
-            merged[name] = result.value
+            # deep-copied, never adopted: the accumulator must not alias
+            # result.value — observers (the --aggregate collector) read
+            # the shard values *after* this streaming fold on the
+            # distributed path, and must see pristine per-shard moments
+            merged[name] = copy.deepcopy(result.value)
+
+    run_shards(_moment_shard, units, on_result=fold)
     return merged
 
 
@@ -233,6 +249,10 @@ def run(scale: Scale = SMALL, seed: int = 0) -> ModelValidationResult:
     policy = current_options().sharding
     rate_percentiles: Dict[str, Tuple[float, float, float]] = {}
     campaign_sessions = 0
+    effective_shards = 0
+    if policy is not None:
+        target = policy.sessions or max(1, int(lam * scale.mc_horizon))
+        effective_shards = policy.shard_count(target)
     if policy is not None:
         aggregates = _sharded_moments(catalog, lam, peak, scale, seed,
                                       policy)
@@ -294,7 +314,7 @@ def run(scale: Scale = SMALL, seed: int = 0) -> ModelValidationResult:
         waste_closed_bps=closed,
         sweep_rows=sweep,
         migration_smoothness_ratio=migration.smoothness_ratio,
-        shards=policy.shards if policy is not None else 0,
+        shards=effective_shards,
         campaign_sessions=campaign_sessions,
         rate_percentiles=rate_percentiles,
     )

@@ -43,6 +43,7 @@ __all__ = [
     "load_bench",
     "load_history",
     "peak_rss_kb",
+    "run_dist_bench",
     "run_suite",
 ]
 
@@ -302,6 +303,56 @@ def format_history(payloads: Sequence[Dict]) -> str:
             trend = "—"
         lines.append(f"  {name:<{width}}{cells}  {trend}")
     return "\n".join(lines)
+
+
+def run_dist_bench(scale_name: str = "small", *, seed: int = 0,
+                   sessions: int = 6000, shard_size: int = 250,
+                   workers: Sequence[int] = (1, 4)) -> Dict:
+    """One ``dist_campaign`` bench entry: the distributed fabric's
+    worker-count scaling on this machine.
+
+    Runs the same sharded ``model_validation`` campaign through the
+    lease-based queue once per worker count, each run over a throwaway
+    queue and store so every shard actually simulates (a warm store
+    would measure the prefill path, not the fabric).  The entry's
+    headline ``wall_s`` is the *largest* fleet's wall time — the
+    configuration the fabric exists for — with per-fleet wall times and
+    the first-to-last ``speedup`` alongside, which is what the
+    PERFORMANCE.md scaling table and ``--history`` track.
+    """
+    import shutil
+    import tempfile
+
+    from ..experiments import REGISTRY, SCALES
+    from ..runner import DistPolicy, ResultCache, RunStats, Sharding
+
+    spec = REGISTRY["model_validation"]
+    scale = SCALES[scale_name]
+    entry: Dict = {"workers": list(workers), "sessions": sessions,
+                   "shard_size": shard_size}
+    for count in workers:
+        tmp = tempfile.mkdtemp(prefix="repro-dist-bench-")
+        try:
+            cache = ResultCache(Path(tmp) / "cache")
+            policy = DistPolicy(queue=str(Path(tmp) / "queue"),
+                                workers=max(1, count))
+            stats = RunStats()
+            started = time.perf_counter()
+            spec.run(scale, seed=seed, cache=cache, stats=stats,
+                     sharding=Sharding(sessions=sessions,
+                                       shard_size=shard_size),
+                     dist=policy)
+            wall = time.perf_counter() - started
+            entry[f"workers{count}_wall_s"] = round(wall, 6)
+            entry[f"workers{count}_units_per_sec"] = (
+                round(stats.sessions / wall, 3) if wall > 0 else 0.0)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    first = entry[f"workers{workers[0]}_wall_s"]
+    last = entry[f"workers{workers[-1]}_wall_s"]
+    entry["wall_s"] = last
+    entry["speedup"] = round(first / last, 3) if last > 0 else 0.0
+    return entry
 
 
 def run_suite(names: Sequence[str], scale_name: str = "small", *,

@@ -22,7 +22,11 @@ Event kinds: ``campaign-started`` / ``campaign-finished`` (CLI scope),
 ``done`` / ``retried`` / ``quarantined`` (per supervised unit, worker
 attributed), ``heartbeat-summary`` (periodic worker-lane snapshot),
 ``suspect`` (health suspicion: missed-beat, straggler, worker-lost) and
-``merged`` (one per shard folded into the streaming reduction).
+``merged`` (one per shard folded into the streaming reduction).  A
+distributed campaign adds ``dist-published`` (the batch hit the work
+queue), ``re-leased`` (an expired holder's shard moved to a live
+worker — the fabric's fault-tolerance record), and ``worker-exit``
+(a coordinator-spawned local worker left, normally or not).
 
 The ledger obeys the obs invariant — it *watches*: nothing reads it
 back during a run, it never enters a cache fingerprint, and the loader
@@ -183,6 +187,33 @@ class LedgerView:
     def suspicions(self) -> List[dict]:
         """Every health ``suspect`` event, ledger order."""
         return [e for e in self.events if e.get("event") == "suspect"]
+
+    def releases(self) -> List[dict]:
+        """Every ``re-leased`` event (an expired lease stolen by a live
+        worker), ledger order — who lost each shard and who finished it."""
+        return [e for e in self.events if e.get("event") == "re-leased"]
+
+    def distribution(self) -> Optional[dict]:
+        """The distributed-fabric summary, or ``None`` for local runs.
+
+        Folds the ``dist-published`` event(s) — queue, TTL, spawned
+        worker count, shards published vs prefilled — with the
+        re-lease and worker-exit tallies the report's Distribution
+        section renders.
+        """
+        published = [e for e in self.events
+                     if e.get("event") == "dist-published"]
+        if not published:
+            return None
+        info = {k: v for k, v in published[0].items()
+                if k not in ("seq", "ts", "event")}
+        info["batches"] = len(published)
+        info["shards"] = sum(e.get("shards", 0) for e in published)
+        info["cache_hits"] = sum(e.get("cache_hits", 0) for e in published)
+        info["re_leases"] = len(self.releases())
+        info["worker_exits"] = sum(1 for e in self.events
+                                   if e.get("event") == "worker-exit")
+        return info
 
     def workers(self) -> Dict[str, dict]:
         """Per-worker activity folded from unit and summary events.

@@ -76,6 +76,7 @@ class ProgressReporter(NullRunObserver):
         self.shards_total = 0
         self._batch_live_shards = 0
         self._shard_campaigns: set = set()
+        self._workers: set = set()
         self._started = time.monotonic()
         self._last_render = 0.0
         self._width = 0
@@ -122,6 +123,20 @@ class ProgressReporter(NullRunObserver):
             self._note_shard_campaign(value.shard)
         self._render()
 
+    def worker_beat(self, lane) -> None:
+        """A worker lane beat (supervised pool or distributed fleet):
+        track the live fleet size for the ``workers`` segment.  A lane
+        reported missing (lease older than the TTL, heartbeat silent)
+        leaves the count until it beats again."""
+        worker = getattr(lane, "worker", None)
+        if worker is None:
+            return
+        if getattr(lane, "missing", False):
+            self._workers.discard(worker)
+        else:
+            self._workers.add(worker)
+        self._render()
+
     def unit_failed(self, failure) -> None:
         """A supervised attempt failed: count the retry or the quarantine."""
         if failure.final:
@@ -159,6 +174,8 @@ class ProgressReporter(NullRunObserver):
         parts = [f"{self.label} {self.done}/{self.total}"]
         if self.shards_total:
             parts.append(f"shards {self.shards_done}/{self.shards_total}")
+        if self._workers:
+            parts.append(f"workers {len(self._workers)}")
         parts.append(f"{rate:.1f}/s")
         remaining = self.total - self.done
         if remaining > 0 and rate > 0:

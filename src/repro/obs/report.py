@@ -6,8 +6,10 @@ replays it into a self-contained document — event timeline, per-worker
 utilization, unit latency percentiles (via the same
 :mod:`repro.stats` sketches the aggregate exports use), cache-hit /
 retry / quarantine tallies, failure attribution and health suspicions —
-plus, optionally, the ``BENCH_*.json`` perf trajectory of the
-repository the campaign ran in.
+plus, for distributed campaigns, the fabric's story (queue, shards
+published vs prefilled, every re-leased shard with who lost it and who
+finished it) and, optionally, the ``BENCH_*.json`` perf trajectory of
+the repository the campaign ran in.
 
 Markdown is the primary rendering (readable in a terminal, a gist, or
 a CI artifact); :func:`render_html` wraps the same content in one
@@ -134,6 +136,31 @@ def render_report(view: LedgerView, *, bench_dir=None,
         lines += _table(("worker", "pid(s)", "units", "busy", "util",
                          "retried", "quarantined", "rss", "suspicions"), rows)
         lines.append("")
+
+    # -- distribution --------------------------------------------------------
+    dist = view.distribution()
+    if dist is not None:
+        lines += ["## Distribution", ""]
+        lines.append(f"- Queue: `{dist.get('queue', '?')}` "
+                     f"(lease TTL {dist.get('ttl', '?')}s, "
+                     f"{dist.get('workers', 0)} coordinator-spawned "
+                     f"workers)")
+        lines.append(f"- Shards: {dist.get('shards', 0)} published "
+                     f"({dist.get('cache_hits', 0)} prefilled from the "
+                     f"store)")
+        lines.append(f"- Re-leases: {dist['re_leases']}, worker exits: "
+                     f"{dist['worker_exits']}")
+        lines.append("")
+        releases = view.releases()
+        if releases:
+            rows = [(event.get("unit", "?"),
+                     _clip(event.get("shard", "") or "", 40),
+                     event.get("previous") or "?",
+                     event.get("worker", "?"))
+                    for event in releases]
+            lines += _table(("unit", "shard", "lost by", "re-leased to"),
+                            rows)
+            lines.append("")
 
     # -- unit latencies ------------------------------------------------------
     latencies = view.unit_latencies()

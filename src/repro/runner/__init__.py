@@ -36,9 +36,23 @@ Public API:
   :func:`shard_fingerprint` — the million-session campaign layer
   (:mod:`repro.runner.sharding`): deterministic shards through the
   supervised pool, shard-level artifacts, streaming reduction.
+* :class:`DistPolicy`, :class:`ShardQueue`, :class:`FileShardQueue`,
+  :class:`WorkerOptions`, :func:`run_worker`, :func:`make_queue` — the
+  distributed shard fabric (:mod:`repro.runner.dist`): a lease-based
+  work queue over shared storage, ``repro worker`` processes that
+  drain it, and a coordinator that reduces artifacts as they land.
 """
 
 from .cache import ResultCache
+from .dist import (
+    DistPolicy,
+    FileShardQueue,
+    ShardQueue,
+    WorkerOptions,
+    WorkerStats,
+    make_queue,
+    run_worker,
+)
 from .fingerprint import (
     canonical,
     code_version,
@@ -88,21 +102,26 @@ __all__ = [
     "CampaignJournal",
     "ChaosError",
     "CompositeRunObserver",
+    "DistPolicy",
     "EngineOptions",
     "FailedUnit",
     "FailureReport",
+    "FileShardQueue",
     "NULL_OBSERVER",
     "NullRunObserver",
     "ResultCache",
     "RetryBudget",
     "RunStats",
     "SessionPlan",
+    "ShardQueue",
     "ShardResult",
     "ShardSpec",
     "ShardStore",
     "Sharding",
     "SupervisionPolicy",
     "UnitFailure",
+    "WorkerOptions",
+    "WorkerStats",
     "campaign_fingerprint",
     "canonical",
     "code_version",
@@ -110,6 +129,7 @@ __all__ = [
     "engine_options",
     "fingerprint",
     "list_journals",
+    "make_queue",
     "merge_options",
     "plan_fingerprint",
     "run_sessions",
@@ -117,6 +137,7 @@ __all__ = [
     "run_shards",
     "run_supervised",
     "run_tasks",
+    "run_worker",
     "shard_fingerprint",
     "split_items",
     "task_fingerprint",

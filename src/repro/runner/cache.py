@@ -75,12 +75,24 @@ class ResultCache:
                 return None
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` atomically."""
+        """Store ``value`` under ``key`` atomically.
+
+        The temp file carries the writer's pid on top of ``mkstemp``'s
+        random suffix: cross-*process* writers (distributed workers on
+        a shared store, parallel pytest sessions) can never collide on
+        a scratch name even across hosts reusing a pid space, and a
+        leftover ``.w<pid>-*`` from a killed writer is attributable.
+        The leading dot keeps scratch files out of every ``*/*.pkl``
+        glob.  Concurrent writers of the *same* key at worst replace
+        the entry with identical bytes — last ``os.replace`` wins.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         rec = current_recorder()
         with rec.span("cache.put"):
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                       prefix=f".w{os.getpid()}-",
+                                       suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as f:
                     pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)

@@ -1,0 +1,414 @@
+"""The distributed coordinator: publish, watch, and streamingly reduce.
+
+``repro experiment --distributed`` swaps the shard engine's *execution*
+transport while keeping every contract the single-host path already
+honors.  :func:`run_shards_distributed` is a drop-in body for
+:func:`~repro.runner.sharding.run_shards` when the ambient
+:class:`DistPolicy` is installed:
+
+1. **Prefill** — every shard key is looked up in the shared
+   :class:`~repro.runner.sharding.ShardStore` first, so a resumed
+   campaign (or a re-dimensioned one) re-simulates zero landed shards.
+2. **Publish** — the misses are published to the
+   :class:`~repro.runner.dist.queue.ShardQueue` in plan order.
+3. **Elastic local workers** — ``workers=N`` spawns N ``repro worker
+   --drain`` subprocesses over the same queue and store; a worker that
+   dies is respawned (budgeted), and externally-started workers on
+   other hosts drain the same queue concurrently.
+4. **Pipelined reduction** — the coordinator polls the store and hands
+   landed artifacts to ``on_result`` as the *contiguous plan-order
+   prefix* grows.  Committing the prefix — not the completion order —
+   is what keeps the reduction byte-identical to the single-host path:
+   ``CampaignSnapshot`` float moments merge via Chan's method, which is
+   order-dependent, so the merge order must be plan order; everything
+   before the barrier (simulation, artifact landing, lease traffic)
+   still overlaps freely.
+
+The run ledger (when the health plane is on) gains the distributed
+lifecycle: ``dist-published``, per-shard ``done`` events attributed to
+the worker that landed them, ``re-leased`` when an expired holder's
+shard moves, and ``worker-exit`` when a local worker leaves.  Worker
+lanes are synthesized from queue lease state and fed through the
+ordinary ``worker_beat`` observer hook, so ``repro dash`` renders a
+distributed campaign with no code of its own.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..pool import current_options
+from ..sharding import ShardSpec, ShardStore
+from ..supervise import CampaignAborted, FailedUnit, FailureReport, UnitFailure
+from .queue import ShardQueue, make_queue
+
+__all__ = [
+    "DistPolicy",
+    "DistWorkerLane",
+    "run_shards_distributed",
+]
+
+
+@dataclass(frozen=True)
+class DistPolicy:
+    """The distributed-execution policy (``EngineOptions.dist``).
+
+    ``queue`` is the transport spec (a shared directory, or a
+    ``redis://`` URL once that backend lands); ``workers`` is how many
+    local drain-mode workers the coordinator spawns — zero means the
+    fleet is entirely external (other terminals, other hosts).
+    ``max_attempts``/``unit_timeout`` are forwarded to each spawned
+    worker's supervised pool.  ``respawns`` bounds elastic worker
+    replacement so a deterministically-crashing fleet terminates.
+    """
+
+    queue: str
+    workers: int = 0
+    ttl: float = 30.0
+    poll: float = 0.1
+    max_attempts: int = 1
+    unit_timeout: Optional[float] = None
+    respawns: int = 8
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.ttl <= 0:
+            raise ValueError(f"lease ttl must be > 0, got {self.ttl}")
+
+
+@dataclass
+class DistWorkerLane:
+    """A worker lane synthesized from queue lease state.
+
+    Duck-typed to :class:`~repro.obs.health.WorkerLane` — exactly the
+    attributes the dashboard and health reporters read — so the obs
+    layer renders distributed workers without importing this module.
+    """
+
+    worker: str
+    pid: int = 0
+    alive: bool = True
+    missing: bool = False
+    straggling: bool = False
+    rss_kb: int = 0
+    units_done: int = 0
+    rate: float = 0.0
+    unit: Optional[int] = None
+    label: str = ""
+    unit_started_at: Optional[float] = None
+    last_beat: float = field(default_factory=time.monotonic)
+
+    def beat_age(self, now: float) -> float:
+        return max(0.0, now - self.last_beat)
+
+
+def _worker_command(policy: DistPolicy, cache_root, index: int) -> List[str]:
+    command = [sys.executable, "-m", "repro", "worker",
+               "--queue-dir", str(policy.queue),
+               "--cache-dir", str(cache_root),
+               "--lease-ttl", str(policy.ttl),
+               "--worker-id", f"local-w{index}", "--drain"]
+    if policy.max_attempts > 1:
+        command += ["--max-attempts", str(policy.max_attempts)]
+    if policy.unit_timeout is not None:
+        command += ["--unit-timeout", str(policy.unit_timeout)]
+    return command
+
+
+def _worker_env() -> dict:
+    # spawned workers must import this package even when it was never
+    # pip-installed (the repo's own PYTHONPATH=src discipline)
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[3])
+    path = env.get("PYTHONPATH", "")
+    if src not in path.split(os.pathsep):
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{path}" if path else src
+    return env
+
+
+class _LocalFleet:
+    """The coordinator's elastic local workers: spawn, respawn, reap."""
+
+    def __init__(self, policy: DistPolicy, cache_root, ledger=None) -> None:
+        self.policy = policy
+        self.cache_root = cache_root
+        self.ledger = ledger
+        self.procs: Dict[int, subprocess.Popen] = {}
+        self.respawned = 0
+        self._env = _worker_env() if policy.workers else None
+
+    def start(self) -> None:
+        for index in range(self.policy.workers):
+            self._spawn(index)
+
+    def _spawn(self, index: int) -> None:
+        self.procs[index] = subprocess.Popen(
+            _worker_command(self.policy, self.cache_root, index),
+            env=self._env, stdout=subprocess.DEVNULL)
+
+    def tend(self, work_remains: bool) -> None:
+        """Reap exits; while work remains, respawn crashed workers —
+        the *elastic* half of the fabric — within the respawn budget."""
+        for index, proc in list(self.procs.items()):
+            code = proc.poll()
+            if code is None:
+                continue
+            del self.procs[index]
+            if self.ledger is not None:
+                self.ledger.event("worker-exit", worker=f"local-w{index}",
+                                  pid=proc.pid, code=code)
+            if code != 0 and work_remains:
+                if self.respawned >= self.policy.respawns:
+                    raise RuntimeError(
+                        f"distributed workers crashed {self.respawned + 1} "
+                        f"times (respawn budget {self.policy.respawns}); "
+                        f"giving up — see the queue's failed/ markers")
+                self.respawned += 1
+                self._spawn(index)
+
+    def stop(self) -> None:
+        for proc in self.procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + 5.0
+        for proc in self.procs.values():
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        self.procs.clear()
+
+
+def _shard_label(spec: ShardSpec) -> str:
+    return f"{spec.campaign} #{spec.index}/{spec.of}"
+
+
+def run_shards_distributed(
+    fn: Callable[..., Any],
+    shards: Sequence[Tuple[ShardSpec, tuple]],
+    keys: Sequence[str],
+    *, stats=None,
+    on_result: Optional[Callable[[Any], None]] = None,
+    queue: Optional[ShardQueue] = None,
+) -> List[Any]:
+    """Run one shard batch over the distributed fabric (see module doc).
+
+    Same contract as the local :func:`~repro.runner.sharding.run_shards`
+    body: plan-ordered results (``ShardResult`` or ``FailedUnit``),
+    ambient stats/journal/failures honored, ``CampaignAborted`` on a
+    quarantined shard unless the supervision policy degrades — plus
+    ``on_result`` streamed over the growing plan-order prefix.
+    """
+    options = current_options()
+    policy = options.dist
+    store = ShardStore.for_cache(options.cache)
+    if store is None:
+        raise RuntimeError(
+            "distributed runs need a shared artifact store: pass "
+            "--cache-dir (or engine_options(cache=...)) so workers and "
+            "the coordinator see the same ShardStore")
+    if queue is None:
+        queue = make_queue(policy.queue, ttl=policy.ttl)
+    observer = options.observer
+    journal = options.journal
+    failures = options.failures
+    ledger = getattr(options.health, "ledger", None)
+    stats = options.stats if stats is None else stats
+
+    total = len(shards)
+    results: List[Any] = [None] * total
+    settled = [False] * total
+    index_of = {key: i for i, key in enumerate(keys)}
+
+    # 1. prefill from the store: a resumed campaign re-simulates nothing
+    hits = 0
+    for i, key in enumerate(keys):
+        artifact = store.get(key)
+        if artifact is not None:
+            results[i] = artifact
+            settled[i] = True
+            hits += 1
+            if journal is not None:
+                journal.done(key)  # idempotent replay on resume
+    if observer.enabled:
+        observer.batch_started(total, hits)
+
+    # 2. publish the misses, in plan order (claim order follows)
+    published = 0
+    for i, (spec, args) in enumerate(shards):
+        if settled[i]:
+            continue
+        payload = pickle.dumps((fn, spec, tuple(args)),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        if queue.publish(keys[i], payload):
+            published += 1
+    if ledger is not None:
+        ledger.event("dist-published", shards=total - hits,
+                     new=published, cache_hits=hits, queue=str(policy.queue),
+                     workers=policy.workers, ttl=policy.ttl)
+
+    quarantined: List[UnitFailure] = []
+    done_by: Dict[str, int] = {}     # worker -> shards landed
+    released: set = set()            # keys already ledgered as re-leased
+    cursor = 0          # next plan index to hand to on_result
+
+    def commit_prefix() -> None:
+        # the pipelined reduction: merge order is plan order, so only
+        # the contiguous settled prefix may flow to the caller
+        nonlocal cursor
+        while cursor < total and settled[cursor]:
+            if on_result is not None:
+                on_result(results[cursor])
+            cursor += 1
+
+    def land(i: int) -> bool:
+        artifact = store.get(keys[i])
+        if artifact is None:
+            return False
+        results[i] = artifact
+        settled[i] = True
+        record = getattr(queue, "done_record", lambda key: {})(keys[i])
+        worker = record.get("worker")
+        done_by[worker or "?"] = done_by.get(worker or "?", 0) + 1
+        if journal is not None:
+            journal.done(keys[i], worker=worker)
+        if ledger is not None:
+            # the done marker is the authoritative re-lease record:
+            # watch_leases only sees transitions that straddle an idle
+            # poll, but a stolen lease always names its dead holder here
+            stolen_from = record.get("previous")
+            if stolen_from and keys[i] not in released:
+                released.add(keys[i])
+                ledger.event("re-leased", worker=worker,
+                             previous=stolen_from, unit=i,
+                             shard=_shard_label(shards[i][0]))
+            ledger.event("done", unit=i, worker=worker,
+                         latency_s=record.get("wall_s"),
+                         shard=_shard_label(shards[i][0]))
+        if observer.enabled:
+            observer.unit_finished(artifact)
+        return True
+
+    def quarantine(i: int, record: dict) -> None:
+        failure = UnitFailure(
+            index=i, label=_shard_label(shards[i][0]), key=keys[i],
+            kind="shard-failed",
+            error=record.get("error", "worker reported failure"),
+            attempts=int(record.get("attempts", 1)), final=True,
+            worker=record.get("worker"))
+        results[i] = FailedUnit(failure)
+        settled[i] = True
+        quarantined.append(failure)
+        if journal is not None:
+            journal.quarantined(failure.key, failure.error,
+                                failure.attempts, failure.worker)
+        if ledger is not None:
+            ledger.event("quarantined", unit=i, worker=failure.worker,
+                         error=failure.error, shard=failure.label)
+        if failures is not None:
+            failures.add(failure)
+        if observer.enabled:
+            observer.unit_failed(failure)
+
+    lanes: Dict[str, DistWorkerLane] = {}
+    holder: Dict[str, str] = {}      # key -> worker last seen leasing it
+    started = time.monotonic()
+
+    def watch_leases() -> None:
+        now = time.monotonic()
+        for lease in queue.leases():
+            previous = holder.get(lease.key)
+            if previous is not None and previous != lease.worker:
+                # an expired holder's shard moved: the re-lease is the
+                # fabric's whole fault-tolerance story, so it is ledgered
+                # (land() re-checks the done marker for steals this poll
+                # loop never witnessed; ``released`` dedups the two paths)
+                if ledger is not None and lease.key not in released:
+                    released.add(lease.key)
+                    i = index_of.get(lease.key)
+                    ledger.event(
+                        "re-leased", worker=lease.worker, previous=previous,
+                        unit=i,
+                        shard=_shard_label(shards[i][0]) if i is not None
+                        else None)
+            holder[lease.key] = lease.worker
+            lane = lanes.get(lease.worker)
+            if lane is None:
+                lane = lanes[lease.worker] = DistWorkerLane(
+                    worker=lease.worker)
+            lane.pid = lease.pid
+            lane.last_beat = now - min(lease.age_s, policy.ttl)
+            lane.missing = lease.age_s > policy.ttl
+            i = index_of.get(lease.key)
+            lane.unit = i
+            lane.label = (_shard_label(shards[i][0])
+                          if i is not None else lease.key[:12])
+            lane.unit_started_at = now - lease.age_s
+        elapsed = max(now - started, 1e-9)
+        for worker, lane in lanes.items():
+            lane.units_done = done_by.get(worker, 0)
+            lane.rate = lane.units_done / elapsed
+            if observer.enabled:
+                observer.worker_beat(lane)
+
+    # the root workers receive must be the *cache* root, not the shard
+    # namespace under it — ShardStore(cache_root) re-derives the latter
+    cache_root = (store.root.parent if isinstance(options.cache, ShardStore)
+                  else options.cache.root)
+    fleet = _LocalFleet(policy, cache_root, ledger=ledger)
+    waiting_notice = None if (policy.workers or hits == total) \
+        else time.monotonic() + max(5.0, policy.ttl)
+    try:
+        fleet.start()
+        commit_prefix()
+        while not all(settled):
+            progressed = False
+            for i in range(total):
+                if settled[i]:
+                    continue
+                if land(i):
+                    progressed = True
+                    continue
+                record = queue.failures().get(keys[i])
+                if record is not None:
+                    quarantine(i, record)
+                    progressed = True
+            commit_prefix()
+            if progressed:
+                continue
+            fleet.tend(work_remains=not all(settled))
+            watch_leases()
+            if waiting_notice is not None \
+                    and time.monotonic() > waiting_notice:
+                waiting_notice = None
+                print(f"coordinator: waiting for workers on "
+                      f"{policy.queue} — start some with: repro worker "
+                      f"--queue-dir {policy.queue} --cache-dir "
+                      f"{cache_root}", file=sys.stderr)
+            time.sleep(policy.poll)
+    finally:
+        fleet.stop()
+
+    if stats is not None:
+        stats.add(total, hits)
+        stats.failed += len(quarantined)
+    degrade = options.supervision is not None and options.supervision.degrade
+    if quarantined and not degrade:
+        report = failures
+        if report is None:
+            report = FailureReport()
+            for failure in quarantined:
+                report.add(failure)
+        raise CampaignAborted(report)
+    if observer.enabled:
+        observer.batch_finished(results)
+    return results

@@ -1,0 +1,429 @@
+"""The shard work queue: lease-based claims over shared storage.
+
+One campaign's shards become one queue: the coordinator *publishes*
+each shard's payload under its content-address
+(:func:`~repro.runner.sharding.shard_fingerprint`), any number of
+worker processes — on one host or many — *claim* shards one at a time,
+and completion is recorded with a marker the coordinator (and every
+other worker) can see.  Results never travel through the queue: a
+worker pushes its :class:`~repro.runner.sharding.ShardResult` into the
+shared :class:`~repro.runner.sharding.ShardStore` and the queue only
+says *whose turn it is* and *what already happened*.
+
+:class:`FileShardQueue` is the reference backend: a directory (local
+tmpfs for same-host fleets, NFS or another shared filesystem for
+multi-host ones) holding four kinds of entries::
+
+    <root>/tasks/<key>.task    pickled (fn, spec, args), atomically published
+    <root>/leases/<key>.lease  live claim; mtime is the TTL authority
+    <root>/done/<key>.done     completion marker (worker + wall seconds)
+    <root>/failed/<key>.failed quarantine marker (worker + error)
+
+The lease protocol is built entirely on atomic filesystem primitives,
+so it needs no daemon and no locks:
+
+* **Claim** — ``open(..., O_CREAT | O_EXCL)`` on the lease path.  At
+  most one process can create a given file, so at most one worker
+  holds a shard.  The lease *content* (worker id, pid, host) is
+  attribution only; liveness is the file's **mtime**, which means a
+  torn content write can never corrupt the protocol.
+* **Renew** — the holder touches the lease (``os.utime``) every
+  ``ttl / 3`` seconds (see :class:`~repro.runner.dist.worker.LeaseHeartbeat`).
+  A renew is a single metadata syscall: atomic everywhere, including
+  NFS.
+* **Expire + steal** — a lease whose mtime is older than ``ttl`` is
+  presumed dead.  A stealer first ``os.rename``\\ s the stale lease to a
+  unique tombstone — rename is atomic, so exactly one stealer wins —
+  and then claims fresh.  The tombstone's content names the previous
+  holder, which is how re-leases are attributed in the run ledger.
+* **Complete** — ``O_CREAT | O_EXCL`` on the done marker.  Duplicate
+  completions (a presumed-dead worker that was merely slow) are
+  harmless: the artifact store write is idempotent (same key, same
+  bytes) and the second done marker loses the race and is dropped.
+
+TTLs compare a lease's mtime against the *observer's* clock, so hosts
+sharing one queue should have loosely synchronized clocks (NTP-grade
+skew is fine for the multi-second TTLs this queue is meant for).
+
+:class:`RedisShardQueue` sketches the same interface over a redis
+server for fleets without a shared filesystem; it is a stub — the
+dependency is deliberately not imported until someone constructs one —
+and :func:`make_queue` routes ``redis://`` URLs to it so the CLI
+surface is already shaped for the swap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "ClaimedShard",
+    "FileShardQueue",
+    "Lease",
+    "RedisShardQueue",
+    "ShardQueue",
+    "default_worker_id",
+    "make_queue",
+]
+
+
+def default_worker_id() -> str:
+    """``<host>-<pid>``: unique per worker process across a shared queue."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One live claim, as an observer sees it (coordinator lane feed)."""
+
+    key: str                 # shard fingerprint the lease covers
+    worker: str              # holder's worker id ("?" if content torn)
+    pid: int                 # holder's pid (0 if content torn)
+    host: str                # holder's hostname ("?" if content torn)
+    age_s: float             # seconds since the last renewal (mtime)
+    renewals: int            # heartbeat renewals recorded so far
+
+
+@dataclass(frozen=True)
+class ClaimedShard:
+    """What :meth:`ShardQueue.claim` hands a worker.
+
+    ``previous`` names the worker whose expired lease was stolen to
+    make this claim, or ``None`` for a first lease — the re-lease
+    attribution that ends up in the run ledger.
+    """
+
+    key: str
+    payload: bytes
+    previous: Optional[str] = None
+
+
+class ShardQueue:
+    """The queue interface every backend implements.
+
+    Payloads are opaque bytes (the shard engine pickles
+    ``(fn, spec, args)``); keys are the shard fingerprints the artifact
+    store is addressed by, so queue state and store state line up
+    one-to-one.
+    """
+
+    def publish(self, key: str, payload: bytes) -> bool:
+        """Make one shard claimable; ``False`` if already published."""
+        raise NotImplementedError
+
+    def claim(self, worker: str) -> Optional[ClaimedShard]:
+        """Lease one unclaimed, unfinished shard; ``None`` if none."""
+        raise NotImplementedError
+
+    def renew(self, key: str, worker: str) -> bool:
+        """Heartbeat one held lease; ``False`` when it was lost."""
+        raise NotImplementedError
+
+    def complete(self, key: str, worker: str, wall_s: float = 0.0,
+                 previous: Optional[str] = None) -> bool:
+        """Mark one shard done; ``False`` on a duplicate completion.
+
+        ``previous`` (the dead holder a stolen lease was taken from, as
+        reported by :attr:`ClaimedShard.previous`) is recorded in the
+        done marker so the coordinator can attribute the re-lease even
+        if it never observed the intermediate lease states.
+        """
+        raise NotImplementedError
+
+    def fail(self, key: str, worker: str, error: str,
+             attempts: int = 1) -> None:
+        """Mark one shard quarantined (supervision exhausted retries)."""
+        raise NotImplementedError
+
+    def abandon(self, key: str, worker: str) -> None:
+        """Release a held lease without completing (clean shutdown)."""
+        raise NotImplementedError
+
+    def is_done(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def pending(self) -> List[str]:
+        """Published keys not yet done and not failed."""
+        raise NotImplementedError
+
+    def settled(self) -> bool:
+        """True when every published shard is done or failed."""
+        return not self.pending()
+
+    def leases(self) -> List[Lease]:
+        """Every live (unexpired *or* expired-but-unstolen) lease."""
+        raise NotImplementedError
+
+    def failures(self) -> Dict[str, dict]:
+        """Quarantine records by key."""
+        raise NotImplementedError
+
+
+class FileShardQueue(ShardQueue):
+    """The shared-directory backend (see the module docstring for the
+    protocol).  ``ttl`` is the lease lifetime in seconds; a holder that
+    stops renewing for longer than that is presumed dead and its shard
+    is re-leased."""
+
+    def __init__(self, root, *, ttl: float = 30.0,
+                 clock=time.time) -> None:
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be > 0, got {ttl}")
+        self.root = Path(root)
+        self.ttl = float(ttl)
+        self.clock = clock
+        self._tasks = self.root / "tasks"
+        self._leases = self.root / "leases"
+        self._done = self.root / "done"
+        self._failed = self.root / "failed"
+        for directory in (self._tasks, self._leases, self._done,
+                          self._failed):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _task_path(self, key: str) -> Path:
+        return self._tasks / f"{key}.task"
+
+    def _lease_path(self, key: str) -> Path:
+        return self._leases / f"{key}.lease"
+
+    def _done_path(self, key: str) -> Path:
+        return self._done / f"{key}.done"
+
+    def _failed_path(self, key: str) -> Path:
+        return self._failed / f"{key}.failed"
+
+    @staticmethod
+    def _read_json(path: Path) -> dict:
+        """Best-effort JSON read: attribution survives torn writes as
+        ``{}`` — never an exception, never a protocol decision."""
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+
+    @staticmethod
+    def _write_json(path: Path, record: dict) -> None:
+        path.write_text(json.dumps(record), encoding="utf-8")
+
+    def _marker(self, path: Path, record: dict) -> bool:
+        """Create a write-once marker; ``False`` when it already exists."""
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(json.dumps(record))
+        return True
+
+    # -- publishing ----------------------------------------------------------
+
+    def publish(self, key: str, payload: bytes) -> bool:
+        path = self._task_path(key)
+        if path.exists():
+            return False
+        tmp = path.with_name(f".{os.getpid()}-{key}.tmp")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)  # atomic: a claimer never sees a torn payload
+        return True
+
+    def payload(self, key: str) -> Optional[bytes]:
+        try:
+            return self._task_path(key).read_bytes()
+        except OSError:
+            return None
+
+    # -- claiming ------------------------------------------------------------
+
+    def _acquire(self, key: str, worker: str,
+                 previous: Optional[str]) -> bool:
+        path = self._lease_path(key)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False  # another claimer beat us to it
+        record = {"worker": worker, "pid": os.getpid(),
+                  "host": socket.gethostname(), "renewals": 0,
+                  "claimed_at": round(self.clock(), 3)}
+        if previous:
+            record["previous"] = previous
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(json.dumps(record))
+        return True
+
+    def _steal(self, key: str) -> Optional[str]:
+        """Tombstone one expired lease; returns the previous holder's
+        worker id when *this* caller won the rename race, else ``None``."""
+        path = self._lease_path(key)
+        tomb = self._leases / f".stale-{key}-{os.getpid()}-{time.monotonic_ns()}"
+        try:
+            os.rename(path, tomb)
+        except OSError:
+            return None  # someone else stole (or the holder completed)
+        return self._read_json(tomb).get("worker") or "?"
+
+    def claim(self, worker: str) -> Optional[ClaimedShard]:
+        now = self.clock()
+        tasks = []
+        for path in self._tasks.glob("*.task"):
+            try:
+                tasks.append((path.stat().st_mtime, path.name, path))
+            except OSError:
+                continue  # racing publisher; next claim sees it
+        # publish order first: the coordinator publishes in plan order,
+        # so draining oldest-first keeps the reducer's plan-order prefix
+        # growing instead of landing artifacts it cannot commit yet
+        tasks.sort()
+        for _, name, path in tasks:
+            key = name[:-len(".task")]
+            if self._done_path(key).exists() \
+                    or self._failed_path(key).exists():
+                continue
+            lease = self._lease_path(key)
+            previous = None
+            try:
+                age = now - lease.stat().st_mtime
+            except OSError:
+                age = None  # unleased
+            if age is not None:
+                if age <= self.ttl:
+                    continue  # live holder
+                previous = self._steal(key)
+                if previous is None:
+                    continue  # lost the steal race
+            if not self._acquire(key, worker, previous):
+                continue
+            payload = self.payload(key)
+            if payload is None:  # pragma: no cover - publisher race
+                self.abandon(key, worker)
+                continue
+            return ClaimedShard(key, payload, previous)
+        return None
+
+    # -- lease lifecycle -----------------------------------------------------
+
+    def renew(self, key: str, worker: str) -> bool:
+        path = self._lease_path(key)
+        record = self._read_json(path)
+        if record.get("worker") != worker:
+            return False  # expired and re-leased to someone else
+        record["renewals"] = int(record.get("renewals", 0)) + 1
+        try:
+            # attribution refresh first, then the mtime touch that
+            # actually extends the TTL (utime is the atomic step)
+            self._write_json(path, record)
+            os.utime(path)
+        except OSError:
+            return False
+        return True
+
+    def complete(self, key: str, worker: str, wall_s: float = 0.0,
+                 previous: Optional[str] = None) -> bool:
+        record = {"worker": worker, "wall_s": round(wall_s, 6),
+                  "finished_at": round(self.clock(), 3)}
+        if previous:
+            record["previous"] = previous
+        first = self._marker(self._done_path(key), record)
+        self.abandon(key, worker)
+        return first
+
+    def fail(self, key: str, worker: str, error: str,
+             attempts: int = 1) -> None:
+        self._marker(self._failed_path(key), {
+            "worker": worker, "error": error, "attempts": attempts,
+            "failed_at": round(self.clock(), 3)})
+        self.abandon(key, worker)
+
+    def abandon(self, key: str, worker: str) -> None:
+        path = self._lease_path(key)
+        if self._read_json(path).get("worker") == worker:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # -- observation ---------------------------------------------------------
+
+    def is_done(self, key: str) -> bool:
+        return self._done_path(key).exists()
+
+    def done_record(self, key: str) -> dict:
+        """The completion marker's attribution (worker, wall seconds)."""
+        return self._read_json(self._done_path(key))
+
+    def failure_record(self, key: str) -> dict:
+        return self._read_json(self._failed_path(key))
+
+    def pending(self) -> List[str]:
+        keys = []
+        for path in self._tasks.glob("*.task"):
+            key = path.name[:-len(".task")]
+            if not self._done_path(key).exists() \
+                    and not self._failed_path(key).exists():
+                keys.append(key)
+        return sorted(keys)
+
+    def leases(self) -> List[Lease]:
+        now = self.clock()
+        out = []
+        for path in self._leases.glob("*.lease"):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # completed/stolen between glob and stat
+            record = self._read_json(path)
+            out.append(Lease(
+                key=path.name[:-len(".lease")],
+                worker=record.get("worker", "?"),
+                pid=int(record.get("pid", 0)),
+                host=record.get("host", "?"),
+                age_s=age,
+                renewals=int(record.get("renewals", 0))))
+        return sorted(out, key=lambda lease: lease.key)
+
+    def failures(self) -> Dict[str, dict]:
+        out = {}
+        for path in self._failed.glob("*.failed"):
+            out[path.name[:-len(".failed")]] = self._read_json(path)
+        return out
+
+
+class RedisShardQueue(ShardQueue):
+    """The redis-shaped backend: same interface, server-side leases.
+
+    A stub by design — the repository adds no dependencies, so the
+    class only materializes the mapping (``SET NX EX`` for claims,
+    ``EXPIRE`` for renewal, a done set for completion) and raises
+    until a redis client is importable.  :func:`make_queue` routes
+    ``redis://`` URLs here, so the CLI surface needs no change when
+    the backend lands.
+    """
+
+    def __init__(self, url: str, *, ttl: float = 30.0) -> None:
+        try:
+            import redis  # noqa: F401  (deliberately optional)
+        except ImportError as exc:
+            raise NotImplementedError(
+                "RedisShardQueue needs the optional redis client; the "
+                "filesystem backend (a shared directory) is the "
+                "supported transport") from exc
+        raise NotImplementedError(
+            "RedisShardQueue is interface-only for now: claims map to "
+            "SET NX EX, renewals to EXPIRE, completion to a done set")
+
+
+def make_queue(spec, *, ttl: float = 30.0) -> ShardQueue:
+    """A queue from a CLI-shaped spec: ``redis://...`` URLs build a
+    :class:`RedisShardQueue`, anything else is a directory path for
+    :class:`FileShardQueue`."""
+    text = str(spec)
+    if text.startswith("redis://"):
+        return RedisShardQueue(text, ttl=ttl)
+    return FileShardQueue(os.path.expanduser(text), ttl=ttl)

@@ -171,9 +171,12 @@ class CampaignJournal:
             record["worker"] = worker
         self._append(record)
 
-    def done(self, key: str, attempts: int = 0) -> None:
-        """Mark one unit complete (its result is in the cache)."""
-        self.record(key, "done", attempts)
+    def done(self, key: str, attempts: int = 0,
+             worker: Optional[str] = None) -> None:
+        """Mark one unit complete (its result is in the cache);
+        ``worker`` attributes it to the (possibly remote) worker that
+        landed the artifact."""
+        self.record(key, "done", attempts, worker=worker)
 
     def failed(self, key: str, error: str, attempts: int,
                worker: Optional[str] = None) -> None:

@@ -218,8 +218,13 @@ class EngineOptions:
     heartbeats and unit lifecycle notifications from the supervised
     path — report-only, never part of a cache fingerprint (typed
     ``Any`` because the runner must not import ``repro.obs``, which
-    imports the runner).  Everything defaults to off/None — the engine
-    then behaves exactly as it always has.
+    imports the runner).  ``dist`` is the horizontal-scaling layer: a
+    :class:`~repro.runner.dist.DistPolicy` that re-routes
+    :func:`~repro.runner.sharding.run_shards` batches through the
+    lease-based shard queue and its worker fleet instead of the local
+    pool (typed ``Any`` to keep the ``dist`` subpackage a lazy import).
+    Everything defaults to off/None — the engine then behaves exactly
+    as it always has.
     """
 
     jobs: int = 1
@@ -231,6 +236,7 @@ class EngineOptions:
     failures: Optional[FailureReport] = None
     sharding: Optional[Any] = None  # repro.runner.sharding.Sharding
     health: Optional[Any] = None    # repro.obs.health.HealthMonitor
+    dist: Optional[Any] = None      # repro.runner.dist.DistPolicy
 
 
 _OPTIONS: contextvars.ContextVar[EngineOptions] = contextvars.ContextVar(
@@ -291,7 +297,7 @@ def engine_options(**overrides):
     Keywords are the :class:`EngineOptions` fields — ``jobs``, ``cache``
     (a :class:`ResultCache`, a path, or ``None``), ``stats``,
     ``observer``, ``supervision``, ``journal``, ``failures``,
-    ``sharding``, ``health``.  ``None`` keeps the surrounding value, so nested
+    ``sharding``, ``health``, ``dist``.  ``None`` keeps the surrounding value, so nested
     scopes compose: a test can pin ``jobs=1`` around an experiment the
     CLI configured with ``jobs=8``.
     """

@@ -74,16 +74,35 @@ class Sharding:
     ``shards=1`` still routes through the shard path (one shard), which
     keeps the artifact store and journal semantics identical at every
     scale.
+
+    ``shard_size`` (CLI: ``--shard-size``) switches from count-based to
+    size-based splitting: the campaign becomes ``ceil(total / size)``
+    shards of exactly ``size`` units (last one smaller).  Many small
+    shards are the work-stealing knob for distributed runs — a
+    straggling worker then holds back one small shard, not a fixed
+    1/Nth of the campaign.  The two knobs are exclusive; the fixed
+    count-based split stays the default so existing shard fingerprints
+    remain valid.
     """
 
     shards: int = 1
     sessions: Optional[int] = None
+    shard_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.sessions is not None and self.sessions < 1:
             raise ValueError(f"sessions must be >= 1, got {self.sessions}")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValueError(
+                f"shard_size must be >= 1, got {self.shard_size}")
+
+    def shard_count(self, total_units: int) -> int:
+        """How many shards a ``total_units``-unit campaign splits into."""
+        if self.shard_size is not None:
+            return max(1, -(-total_units // self.shard_size))
+        return self.shards
 
 
 @dataclass(frozen=True)
@@ -158,24 +177,39 @@ class ShardStore(ResultCache):
         return cls(cache)
 
 
-def split_items(items: Sequence[Any], shards: int) -> List[List[Any]]:
-    """Split ``items`` into at most ``shards`` contiguous chunks.
+def split_items(items: Sequence[Any], shards: int = 1, *,
+                size: Optional[int] = None) -> List[List[Any]]:
+    """Split ``items`` into contiguous chunks, by count or by size.
 
-    Chunk size is fixed at ``ceil(len/shards)`` rather than balanced:
-    growing the item list at the same per-shard size extends the tail
-    without disturbing earlier chunks, which is what keeps their shard
-    fingerprints (and cached artifacts) valid across a re-dimension.
-    Empty chunks are never produced; fewer than ``shards`` chunks come
-    back when items run out.
+    The default (count-based) mode fixes the chunk size at
+    ``ceil(len/shards)`` rather than balancing: growing the item list
+    at the same per-shard size extends the tail without disturbing
+    earlier chunks, which is what keeps their shard fingerprints (and
+    cached artifacts) valid across a re-dimension.  The cost is
+    imbalance — the last chunk can be almost empty (16 items over 5
+    shards gives ``[4, 4, 4, 4]`` then nothing for the fifth).
+
+    ``size`` switches to size-based splitting: every chunk holds
+    exactly ``size`` items (last one smaller), and the chunk *count*
+    floats instead of the chunk size.  That is the work-stealing mode —
+    many small uniform chunks — and it composes with re-dimensioning
+    the same way: same ``size``, more items, only new tail chunks.
+    Empty chunks are never produced in either mode.
 
     >>> split_items([1, 2, 3, 4, 5], 3)
     [[1, 2], [3, 4], [5]]
+    >>> split_items([1, 2, 3, 4, 5], size=2)
+    [[1, 2], [3, 4], [5]]
     """
-    if shards < 1:
+    if size is not None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+    elif shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     if not items:
         return []
-    size = -(-len(items) // shards)  # ceil division
+    if size is None:
+        size = -(-len(items) // shards)  # ceil division
     return [list(items[i:i + size]) for i in range(0, len(items), size)]
 
 
@@ -199,22 +233,44 @@ def _shard_call(payload: Tuple[Callable[..., Any], ShardSpec, tuple]):
 def run_shards(fn: Callable[..., Any],
                shards: Sequence[Tuple[ShardSpec, tuple]],
                *, jobs: Optional[int] = None,
-               stats=None) -> List[ShardResult]:
+               stats=None,
+               on_result: Optional[Callable[[Any], None]] = None
+               ) -> List[Any]:
     """Run ``fn(*args)`` for each ``(spec, args)`` shard, in shard order.
 
     The shard batch rides :func:`~repro.runner.pool.run_tasks` — ambient
     jobs/supervision/journal/observers all apply, each shard is one
     supervised unit — but cache keys are :func:`shard_fingerprint`\\ s
     and artifacts land in the :class:`ShardStore` next to the ambient
-    cache.  Returns plan-ordered :class:`ShardResult`\\ s; the caller
-    merges ``result.value`` snapshots (observers already saw them).
+    cache.  Returns the plan-ordered values (:class:`ShardResult`\\ s,
+    or :class:`~repro.runner.supervise.FailedUnit` placeholders under a
+    degraded campaign).
+
+    ``on_result`` is the streaming-reduction hook: it receives every
+    value **in plan order**, and callers merge there instead of over
+    the returned list.  On this local path it fires after the batch; a
+    distributed run (an ambient
+    :class:`~repro.runner.dist.DistPolicy` on the engine options
+    re-routes the whole batch through the shard queue and its worker
+    fleet) streams it over the growing plan-order prefix while later
+    shards are still simulating — same call order, same merge result,
+    reduction overlapped with execution.
     """
     options = current_options()
-    store = ShardStore.for_cache(options.cache)
     keys = [shard_fingerprint(spec, fn, args) for spec, args in shards]
+    if options.dist is not None:
+        from .dist.coordinator import run_shards_distributed
+
+        return run_shards_distributed(fn, shards, keys, stats=stats,
+                                      on_result=on_result)
+    store = ShardStore.for_cache(options.cache)
     payloads = [((fn, spec, tuple(args)),) for spec, args in shards]
-    return run_tasks(_shard_call, payloads, jobs=jobs, cache=store,
-                     stats=stats, keys=keys)
+    results = run_tasks(_shard_call, payloads, jobs=jobs, cache=store,
+                        stats=stats, keys=keys)
+    if on_result is not None:
+        for result in results:
+            on_result(result)
+    return results
 
 
 def _session_shard(plans: Tuple[SessionPlan, ...]):
@@ -250,18 +306,24 @@ def run_sharded_sessions(plans: Iterable[PlanLike], *, campaign: str,
     from ..obs.collect import CampaignSnapshot
 
     options = current_options()
+    size = None
     if shards is None:
         policy = options.sharding
         shards = policy.shards if policy is not None else 1
+        size = policy.shard_size if policy is not None else None
     normalized = [p if isinstance(p, SessionPlan) else SessionPlan(*p)
                   for p in plans]
-    chunks = split_items(normalized, shards)
+    chunks = split_items(normalized, shards, size=size)
     units = [
         (ShardSpec(campaign=campaign, scale=scale, seed=seed, index=i,
                    of=len(chunks), units=len(chunk)), (tuple(chunk),))
         for i, chunk in enumerate(chunks)
     ]
     merged = CampaignSnapshot()
-    for result in run_shards(_session_shard, units):
-        merged.merge(result.value)
+
+    def fold(result: Any) -> None:
+        if isinstance(result, ShardResult):
+            merged.merge(result.value)  # plan order: see run_shards
+
+    run_shards(_session_shard, units, on_result=fold)
     return merged

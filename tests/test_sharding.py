@@ -210,6 +210,14 @@ class TestMergeOptions:
             Sharding(shards=0)
         with pytest.raises(ValueError, match="sessions"):
             Sharding(shards=2, sessions=0)
+        with pytest.raises(ValueError, match="shard_size"):
+            Sharding(shard_size=0)
+
+    def test_shard_count_by_count_and_by_size(self):
+        assert Sharding(shards=4).shard_count(100) == 4
+        assert Sharding(shard_size=30).shard_count(100) == 4  # ceil
+        assert Sharding(shard_size=30).shard_count(90) == 3
+        assert Sharding(shard_size=200).shard_count(100) == 1
 
 
 # -- shard identity ----------------------------------------------------------
@@ -262,6 +270,37 @@ class TestSplitItems:
     def test_invalid_shards(self):
         with pytest.raises(ValueError, match="shards"):
             split_items([1], 0)
+        with pytest.raises(ValueError, match="size"):
+            split_items([1], size=0)
+
+    def test_size_mode_fixes_the_chunk_size(self):
+        assert split_items([1, 2, 3, 4, 5], size=2) == [[1, 2], [3, 4], [5]]
+        assert split_items([1, 2], size=5) == [[1, 2]]
+        assert split_items([], size=3) == []
+        # the chunk *count* floats with the item count, never the size
+        assert [len(c) for c in split_items(list(range(10)), size=4)] \
+            == [4, 4, 2]
+
+    def test_size_mode_prefix_stable_and_fingerprints_agree(self):
+        # re-dimensioning at the same --shard-size: earlier chunks (and
+        # so their shard fingerprints) are byte-for-byte unchanged
+        small = split_items(list(range(8)), size=2)
+        large = split_items(list(range(12)), size=2)
+        assert large[:len(small)] == small
+        for index, chunk in enumerate(small):
+            a = shard_fingerprint(
+                _spec(index=index, of=len(small), units=len(chunk)),
+                _double, (tuple(chunk),))
+            b = shard_fingerprint(
+                _spec(index=index, of=len(large), units=len(chunk)),
+                _double, (tuple(chunk),))
+            assert a == b
+
+    def test_count_and_size_modes_agree_on_equal_geometry(self):
+        # --shards 3 over 12 items is chunks of 4; --shard-size 4 must
+        # produce the identical split (and so identical fingerprints)
+        items = list(range(12))
+        assert split_items(items, 3) == split_items(items, size=4)
 
 
 # -- run_shards through the pool ---------------------------------------------
